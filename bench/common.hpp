@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark harness binaries: fixed-width table
+// printing in the paper's format and geometric-mean summaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lily::bench {
+
+inline void print_rule(int width) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+/// Geometric mean of ratios (the paper reports average improvements).
+class RatioTracker {
+public:
+    void add(double ours, double theirs) {
+        if (ours > 0.0 && theirs > 0.0) {
+            log_sum_ += std::log(ours / theirs);
+            ++n_;
+        }
+    }
+    double geomean() const { return n_ == 0 ? 1.0 : std::exp(log_sum_ / n_); }
+    /// Percent change of `ours` vs `theirs` (negative = ours smaller).
+    double percent() const { return (geomean() - 1.0) * 100.0; }
+
+private:
+    double log_sum_ = 0.0;
+    int n_ = 0;
+};
+
+}  // namespace lily::bench

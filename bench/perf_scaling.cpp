@@ -1,0 +1,79 @@
+// Section 5 runtime note: the paper places the 1892-gate inchoate C5315 in
+// ~3 minutes and runs the whole Lily pipeline in ~10 minutes on a DEC3100.
+// This google-benchmark binary measures how our global placement, baseline
+// mapping and Lily mapping scale with circuit size on the host machine —
+// the trend (roughly quadratic placement, near-linear mapping) is the
+// reproducible claim, not the absolute seconds.
+#include <benchmark/benchmark.h>
+
+#include "circuits/benchmarks.hpp"
+#include "library/standard_cells.hpp"
+#include "lily/lily_mapper.hpp"
+#include "map/base_mapper.hpp"
+#include "place/netlist_adapters.hpp"
+#include "subject/decompose.hpp"
+
+using namespace lily;
+
+namespace {
+
+Network sized_network(std::int64_t gates) {
+    return make_control_logic(static_cast<unsigned>(gates / 8 + 8),
+                              static_cast<unsigned>(gates / 16 + 4),
+                              static_cast<unsigned>(gates), 0xBEEF, "scaling");
+}
+
+void BM_GlobalPlacement(benchmark::State& state) {
+    const Network net = sized_network(state.range(0));
+    const DecomposeResult sub = decompose(net);
+    SubjectPlacementView view = make_placement_view(sub.graph);
+    const Rect region = make_region(view.netlist.total_cell_area());
+    view.netlist.pad_positions = uniform_pad_ring(view.netlist.pad_positions.size(), region);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(place_global(view.netlist, region));
+    }
+    state.counters["subject_gates"] = static_cast<double>(sub.graph.gate_count());
+}
+
+void BM_BaselineMap(benchmark::State& state) {
+    const Network net = sized_network(state.range(0));
+    const DecomposeResult sub = decompose(net);
+    const Library lib = load_msu_big();
+    BaseMapper mapper(lib);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.map(sub.graph));
+    }
+    state.counters["subject_gates"] = static_cast<double>(sub.graph.gate_count());
+}
+
+void BM_LilyMap(benchmark::State& state) {
+    const Network net = sized_network(state.range(0));
+    const DecomposeResult sub = decompose(net);
+    const Library lib = load_msu_big();
+    LilyMapper mapper(lib);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.map(sub.graph));
+    }
+    state.counters["subject_gates"] = static_cast<double>(sub.graph.gate_count());
+}
+
+void BM_LilyMapMultiplier(benchmark::State& state) {
+    // The C6288-style stress case: deep carry-save arrays.
+    const Network net = make_multiplier(static_cast<unsigned>(state.range(0)));
+    const DecomposeResult sub = decompose(net);
+    const Library lib = load_msu_big();
+    LilyMapper mapper(lib);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.map(sub.graph));
+    }
+    state.counters["subject_gates"] = static_cast<double>(sub.graph.gate_count());
+}
+
+}  // namespace
+
+BENCHMARK(BM_GlobalPlacement)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LilyMapMultiplier)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BaselineMap)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LilyMap)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

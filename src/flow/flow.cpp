@@ -1,0 +1,137 @@
+#include "flow/flow.hpp"
+
+#include <stdexcept>
+
+#include "subject/decompose.hpp"
+
+namespace lily {
+
+namespace {
+
+CoverMode effective_cover(const FlowOptions& opts) {
+    if (opts.cover.has_value()) return *opts.cover;
+    return opts.objective == MapObjective::Delay ? CoverMode::Cones : CoverMode::Trees;
+}
+
+/// Map a boundary point of `from` onto the boundary of `to` (both centered
+/// axis-aligned rectangles) by scaling each axis independently.
+Point rescale(const Point& p, const Rect& from, const Rect& to) {
+    const Point cf = from.center();
+    const Point ct = to.center();
+    const double sx = to.width() / std::max(from.width(), 1e-12);
+    const double sy = to.height() / std::max(from.height(), 1e-12);
+    return {ct.x + (p.x - cf.x) * sx, ct.y + (p.y - cf.y) * sy};
+}
+
+}  // namespace
+
+FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
+                       std::optional<PadsInRegion> pads,
+                       std::optional<std::vector<Point>> seed_positions) {
+    FlowResult out;
+    out.netlist = mapped;
+
+    MappedPlacementView view = make_placement_view(mapped, lib);
+    const Rect region = make_region(view.netlist.total_cell_area(), opts.placement_utilization);
+    out.region = region;
+
+    const Rect seed_region = pads.has_value() ? pads->region : region;
+    if (pads.has_value()) {
+        if (pads->positions.size() != view.netlist.pad_positions.size()) {
+            throw std::invalid_argument("run_backend: pad count mismatch");
+        }
+        for (std::size_t i = 0; i < pads->positions.size(); ++i) {
+            view.netlist.pad_positions[i] = rescale(pads->positions[i], pads->region, region);
+        }
+    } else {
+        view.netlist.pad_positions = place_pads(view.netlist, region);
+    }
+
+    // Anchor the placement to the seed (Lily's constructive mapPositions):
+    // parallel 2-pin nets to virtual pads keep the mapper's spatial intent
+    // while the partitioning pass restores balance.
+    PlacementNetlist placed_netlist = view.netlist;
+    if (seed_positions.has_value()) {
+        if (seed_positions->size() != placed_netlist.n_cells) {
+            throw std::invalid_argument("run_backend: seed position count mismatch");
+        }
+        for (std::size_t c = 0; c < placed_netlist.n_cells; ++c) {
+            const std::size_t pad = placed_netlist.pad_positions.size();
+            placed_netlist.pad_positions.push_back(
+                rescale((*seed_positions)[c], seed_region, region));
+            for (int dup = 0; dup < 2; ++dup) {
+                PlacementNetlist::Net net;
+                net.cells = {c};
+                net.pads = {pad};
+                placed_netlist.nets.push_back(net);
+            }
+        }
+    }
+
+    const GlobalPlacement global = place_global(placed_netlist, region, opts.lily.placement);
+    DetailedPlacement detailed = legalize_rows(view.netlist, global);
+    improve_rows(view.netlist, detailed);
+    out.final_positions = detailed.positions;
+    out.pad_positions = view.netlist.pad_positions;
+
+    const RouteResult routed =
+        route_global(view.netlist, detailed.positions, region, opts.router);
+    const ChipAreaEstimate chip =
+        estimate_chip_area(view.netlist.total_cell_area(), routed, opts.chip);
+    const TimingReport timing =
+        analyze_timing(mapped, lib, view, detailed.positions, opts.timing);
+
+    out.metrics.gate_count = mapped.gate_count();
+    out.metrics.cell_area = chip.cell_area;
+    out.metrics.chip_area = chip.chip_area;
+    out.metrics.wirelength = routed.total_wirelength;
+    out.metrics.critical_delay = timing.critical_delay;
+    out.metrics.max_congestion = routed.max_congestion;
+    return out;
+}
+
+FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+    // Pipeline 1: map first (interconnect-blind), lay out afterwards. The
+    // mapper cannot see pad locations — exactly the paper's remark that the
+    // standard MIS pipeline "cannot make use of the location of pads".
+    const DecomposeResult sub = decompose(net, opts.decompose);
+    BaseMapperOptions base = opts.base;
+    base.objective = opts.objective;
+    base.mode = effective_cover(opts);
+    const MapResult res = BaseMapper(lib).map(sub.graph, base);
+    return run_backend(res.netlist, lib, opts);
+}
+
+FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+    // Pipeline 2: pads first, then placement-coupled mapping.
+    const DecomposeResult sub = decompose(net, opts.decompose);
+    LilyOptions lily = opts.lily;
+    lily.objective = opts.objective;
+    lily.cover = effective_cover(opts);
+    LilyMapper mapper(lib);
+    const LilyResult res = mapper.map(sub.graph, lily);
+
+    // Reuse the pre-mapping pad assignment for the back end; the pad ring
+    // was chosen on the inchoate region, so pass that region for rescaling.
+    PadsInRegion pads{res.pad_positions, res.inchoate_placement.region};
+    return run_backend(res.netlist, lib, opts, std::move(pads), res.instance_positions);
+}
+
+FlowResult run_lily_flow_adaptive(const Network& net, const Library& lib,
+                                  const FlowOptions& opts, double reference_wirelength) {
+    FlowResult best = run_lily_flow(net, lib, opts);
+    double reference = reference_wirelength;
+    if (reference <= 0.0) reference = run_baseline_flow(net, lib, opts).metrics.wirelength;
+    if (best.metrics.wirelength <= reference) return best;
+
+    FlowOptions retry = opts;
+    for (const double weight : {opts.lily.wire_weight / 4.0, 0.0}) {
+        retry.lily.wire_weight = weight;
+        FlowResult attempt = run_lily_flow(net, lib, retry);
+        if (attempt.metrics.wirelength < best.metrics.wirelength) best = std::move(attempt);
+        if (best.metrics.wirelength <= reference) break;
+    }
+    return best;
+}
+
+}  // namespace lily

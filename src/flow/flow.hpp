@@ -1,0 +1,109 @@
+// End-to-end experimental pipelines, mirroring Section 5 of the paper:
+//
+//  Pipeline 1 (baseline / "MIS2.1"):
+//    read optimized circuit -> MIS-style mapping -> assign I/O pads ->
+//    global+detailed placement -> global routing -> metrics.
+//
+//  Pipeline 2 (Lily):
+//    read optimized circuit -> assign I/O pads -> balanced global placement
+//    of the inchoate network -> Lily mapping (placement-coupled) ->
+//    global+detailed placement -> global routing -> metrics.
+//
+// Both pipelines share the identical back end (pad placer, placer,
+// legalizer, router, chip-area model, timing), as the paper requires for a
+// fair comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lily/lily_mapper.hpp"
+#include "subject/decompose.hpp"
+#include "map/base_mapper.hpp"
+#include "route/chip_area.hpp"
+#include "route/global_router.hpp"
+#include "sta/timing.hpp"
+
+namespace lily {
+
+/// Unit conventions for paper-style reporting: gate areas are in units of
+/// 1000 um^2 (so 1 unit = 0.001 mm^2) and lengths in units of
+/// sqrt(0.001 mm^2) ~ 0.0316 mm.
+inline constexpr double kAreaUnitMm2 = 0.001;
+inline constexpr double kLengthUnitMm = 0.0316227766;
+
+struct FlowOptions {
+    MapObjective objective = MapObjective::Area;
+    /// Cover mode applied to BOTH mappers. Unset picks the classic choice
+    /// per objective: Trees (no duplication) for area mapping, Cones (MIS
+    /// logic duplication) for timing mapping — matching the tools the
+    /// paper compared against.
+    std::optional<CoverMode> cover;
+    /// Subject-graph construction for BOTH pipelines (shape, INV-pair
+    /// folding); defaults to the paper-era MIS-style decomposition.
+    DecomposeOptions decompose;
+    BaseMapperOptions base;      // baseline mapper knobs
+    LilyOptions lily;            // Lily knobs
+    RouterOptions router;
+    ChipAreaOptions chip;
+    TimingOptions timing;
+    double placement_utilization = 0.5;
+};
+
+struct FlowMetrics {
+    std::size_t gate_count = 0;
+    double cell_area = 0.0;       // total instance area (units)
+    double chip_area = 0.0;       // cell + routing area (units)
+    double wirelength = 0.0;      // routed wirelength (length units)
+    double critical_delay = 0.0;  // ns, with wire delays included
+    double max_congestion = 0.0;
+
+    double cell_area_mm2() const { return cell_area * kAreaUnitMm2; }
+    double chip_area_mm2() const { return chip_area * kAreaUnitMm2; }
+    double wirelength_mm() const { return wirelength * kLengthUnitMm; }
+};
+
+struct FlowResult {
+    MappedNetlist netlist;
+    FlowMetrics metrics;
+    std::vector<Point> final_positions;  // detailed placement (per instance)
+    std::vector<Point> pad_positions;    // I/O pads in the region frame
+    Rect region;
+};
+
+/// Pipeline 1: interconnect-blind mapping, layout afterwards.
+FlowResult run_baseline_flow(const Network& net, const Library& lib,
+                             const FlowOptions& opts = {});
+
+/// Pipeline 2: layout-driven (Lily) mapping.
+FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts = {});
+
+/// The paper's Section 5 remedy for circuits where the dynamic wire length
+/// estimation misfires (their misex1): "repeat the mapping with reduced
+/// wire cost weight to obtain better solutions". Runs the Lily pipeline,
+/// compares its routed wirelength against `reference_wirelength` (pass the
+/// baseline pipeline's result; 0 runs the baseline internally), and retries
+/// with the wire weight quartered and then zeroed, keeping the best run.
+FlowResult run_lily_flow_adaptive(const Network& net, const Library& lib,
+                                  const FlowOptions& opts = {},
+                                  double reference_wirelength = 0.0);
+
+/// Pad positions expressed relative to the region they were assigned in, so
+/// the back end can rescale them onto the (differently sized) mapped
+/// region while keeping the boundary assignment.
+struct PadsInRegion {
+    std::vector<Point> positions;
+    Rect region;
+};
+
+/// Shared back end: place (pads given or computed), legalize, route, time.
+/// `seed_positions` (one per gate instance, in the pads' region frame)
+/// anchors the global placement — this is how Lily's constructive
+/// mapPositions carry through to detailed placement, per the paper's
+/// integrated pipeline. The placer still balances and legalizes, so a poor
+/// seed degrades gracefully.
+FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
+                       std::optional<PadsInRegion> pads = std::nullopt,
+                       std::optional<std::vector<Point>> seed_positions = std::nullopt);
+
+}  // namespace lily

@@ -1,0 +1,33 @@
+// The two bundled cell libraries used throughout the paper's evaluation:
+//
+//  * msu_tiny — gates with at most 3 inputs ("tiny library" of Section 5)
+//  * msu_big  — the same plus gates with up to 6 inputs ("big library")
+//
+// Both are modeled on the 3u MSU standard-cell library, with delay, gate
+// capacitance and wiring capacitance scaled to a 1u process the way the
+// paper describes (Section 5). Areas are in units of 1000 um^2; delays in
+// ns; capacitances in pF; fanout (drive) terms in ns/pF.
+//
+// The genlib source text is available both as embedded strings (so library
+// loading never depends on install paths) and as files under lib/.
+#pragma once
+
+#include <string_view>
+
+#include "library/library.hpp"
+
+namespace lily {
+
+/// genlib text of the tiny (<= 3 input) library.
+std::string_view msu_tiny_genlib();
+
+/// genlib text of the big (<= 6 input) library; a superset of msu_tiny.
+std::string_view msu_big_genlib();
+
+/// Parsed and validated tiny library.
+Library load_msu_tiny();
+
+/// Parsed and validated big library.
+Library load_msu_big();
+
+}  // namespace lily

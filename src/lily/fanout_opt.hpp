@@ -1,0 +1,40 @@
+// Fanout optimization — the post-processing pass the paper lists as future
+// work ("Currently, Lily does not perform fanout optimization ... we could
+// perform a postprocessing pass to derive fanout trees", Section 5).
+//
+// Nets driving more than `max_fanout` gate pins are split: sinks are
+// clustered spatially, and every cluster beyond the first is served through
+// a buffer placed at the cluster's center of mass. The pass repeats until
+// no net exceeds the limit (buffers themselves may need buffering), so it
+// builds whole fanout trees. Primary-output connections are never moved.
+#pragma once
+
+#include <vector>
+
+#include "map/mapped_netlist.hpp"
+#include "util/geometry.hpp"
+
+namespace lily {
+
+struct FanoutOptOptions {
+    /// Maximum gate-input sinks a single driver may keep.
+    std::size_t max_fanout = 4;
+    /// Sinks per inserted buffer (defaults to max_fanout).
+    std::size_t sinks_per_buffer = 0;
+};
+
+struct FanoutOptResult {
+    std::size_t buffers_added = 0;
+    std::size_t nets_split = 0;
+};
+
+/// Rewire `m` in place, inserting buffers from `lib` (its buffer gate, or a
+/// double-inverter when no buffer exists — the library must then contain an
+/// inverter). `positions`, when non-null, must parallel m.gates and is
+/// extended with the positions of inserted buffers. Preserves functional
+/// equivalence (checked by tests via random simulation).
+FanoutOptResult optimize_fanout(MappedNetlist& m, const Library& lib,
+                                std::vector<Point>* positions,
+                                const FanoutOptOptions& opts = {});
+
+}  // namespace lily

@@ -1,0 +1,443 @@
+#include "lily/lily_mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lily {
+
+namespace {
+
+/// Mutable mapping state shared by the per-cone passes.
+struct Ctx {
+    const SubjectGraph& g;
+    const Library& lib;
+    const LilyOptions& opts;
+    const Matcher& matcher;
+
+    SubjectPlacementView view;
+    std::vector<Point> pad_pos;               // PIs then POs
+    std::vector<Point> place_pos;             // placePosition per subject node
+    std::vector<LifeState> state;
+    std::vector<LilyNodeSolution> sol;
+    std::vector<std::vector<std::size_t>> po_pads_of;  // subject id -> pad ids
+    std::vector<bool> committed;              // needed-walk bookkeeping
+
+    // Epoch-stamped scratch for the true-fanout walk: avoids an O(n)
+    // allocation per query (the walk runs once per match input).
+    mutable std::vector<std::uint32_t> visit_mark;
+    mutable std::uint32_t visit_epoch = 0;
+
+    /// placePosition/mapPosition lookup per the paper's rules: hawks answer
+    /// with their mapPosition, primary inputs with their pad, everything
+    /// else with its placePosition.
+    Point pos(SubjectId v) const {
+        if (g.node(v).kind == SubjectKind::Input) return place_pos[v];
+        if (state[v] == LifeState::Hawk) return sol[v].position;
+        return place_pos[v];
+    }
+};
+
+/// add-true-fanout-recursively (Section 3.3): walk each fanout branch of a
+/// stem; doves are transparent (their logic lives inside a hawk above), any
+/// hawk/nestling/egg reached is a true fanout. Logic duplication can yield
+/// several true fanouts per branch.
+void add_true_fanouts(const Ctx& ctx, SubjectId branch, std::vector<SubjectId>& out) {
+    if (ctx.visit_mark[branch] == ctx.visit_epoch) return;
+    ctx.visit_mark[branch] = ctx.visit_epoch;
+    if (ctx.state[branch] == LifeState::Dove) {
+        for (const SubjectId f : ctx.g.node(branch).fanouts) {
+            add_true_fanouts(ctx, f, out);
+        }
+    } else {
+        out.push_back(branch);
+    }
+}
+
+std::vector<SubjectId> true_fanouts(const Ctx& ctx, SubjectId stem) {
+    std::vector<SubjectId> out;
+    if (ctx.visit_mark.size() != ctx.g.size()) {
+        ctx.visit_mark.assign(ctx.g.size(), 0);
+        ctx.visit_epoch = 0;
+    }
+    ++ctx.visit_epoch;
+    for (const SubjectId f : ctx.g.node(stem).fanouts) add_true_fanouts(ctx, f, out);
+    return out;
+}
+
+bool is_covered_by(const Match& m, SubjectId v) {
+    return std::binary_search(m.covered.begin(), m.covered.end(), v);
+}
+
+/// Fanin rectangle of input `vi` of match `m` (Section 3.3): the true
+/// fanouts of vi not covered by m, plus vi itself. Hawks (and vi when it is
+/// one) contribute mapPositions, everything else placePositions; pads of
+/// primary outputs vi drives are included.
+Rect fanin_rect(const Ctx& ctx, SubjectId vi, const Match& m) {
+    Rect r;
+    r.expand(ctx.pos(vi));
+    for (const SubjectId tf : true_fanouts(ctx, vi)) {
+        if (is_covered_by(m, tf)) continue;
+        r.expand(ctx.pos(tf));
+    }
+    for (const std::size_t pad : ctx.po_pads_of[vi]) r.expand(ctx.pad_pos[pad]);
+    return r;
+}
+
+/// Fanout rectangle of the match root (Section 3.2): fanouts of v outside
+/// the match (eggs, by DFS order) at their placePositions, plus PO pads.
+Rect fanout_rect(const Ctx& ctx, SubjectId v, const Match& m) {
+    Rect r;
+    for (const SubjectId f : ctx.g.node(v).fanouts) {
+        if (is_covered_by(m, f)) continue;
+        r.expand(ctx.place_pos[f]);
+    }
+    for (const std::size_t pad : ctx.po_pads_of[v]) r.expand(ctx.pad_pos[pad]);
+    return r;
+}
+
+std::vector<SubjectId> distinct_inputs(const Match& m) {
+    std::vector<SubjectId> ins(m.inputs.begin(), m.inputs.end());
+    std::sort(ins.begin(), ins.end());
+    ins.erase(std::unique(ins.begin(), ins.end()), ins.end());
+    return ins;
+}
+
+/// Candidate gate position (Section 3.2).
+Point candidate_position(const Ctx& ctx, SubjectId v, const Match& m) {
+    if (ctx.opts.update == PositionUpdate::CMofMerged) {
+        std::vector<Point> pts;
+        pts.reserve(m.covered.size());
+        for (const SubjectId w : m.covered) pts.push_back(ctx.place_pos[w]);
+        return center_of_mass(pts);
+    }
+    // CM-of-Fans: minimize Manhattan distance to fanin + fanout rectangles.
+    std::vector<Rect> rects;
+    for (const SubjectId vi : distinct_inputs(m)) {
+        // Mapped inputs answer with mapPositions (depth-first order has
+        // already decided them); the rectangle also folds in vi's other
+        // true fanouts.
+        rects.push_back(fanin_rect(ctx, vi, m));
+    }
+    const Rect fo = fanout_rect(ctx, v, m);
+    if (!fo.empty()) rects.push_back(fo);
+    if (rects.empty()) {
+        std::vector<Point> pts;
+        for (const SubjectId w : m.covered) pts.push_back(ctx.place_pos[w]);
+        return center_of_mass(pts);
+    }
+    return manhattan_median_of_rects(rects);
+}
+
+/// Wire cost of connecting gate(m) at `p` to its fanins (Section 3.4): for
+/// each input net, the enclosing-rectangle half perimeter (Steiner-ratio
+/// corrected) or spanning-tree length over {fanin-rect nodes, p}, divided by
+/// the true fanout count to avoid duplicate accounting.
+double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p) {
+    double sum = 0.0;
+    for (const SubjectId vi : distinct_inputs(m)) {
+        std::vector<Point> pts;
+        pts.push_back(ctx.pos(vi));
+        std::size_t tf_count = 0;
+        for (const SubjectId tf : true_fanouts(ctx, vi)) {
+            ++tf_count;
+            if (is_covered_by(m, tf)) continue;
+            pts.push_back(ctx.pos(tf));
+        }
+        for (const std::size_t pad : ctx.po_pads_of[vi]) {
+            pts.push_back(ctx.pad_pos[pad]);
+            ++tf_count;
+        }
+        pts.push_back(p);
+        tf_count = std::max<std::size_t>(tf_count, 1);
+        sum += net_wirelength(pts, ctx.opts.wire_model) / static_cast<double>(tf_count);
+    }
+    return sum;
+}
+
+// ------------------------------------------------------------- delay mode
+
+/// Load at a driver (Section 4.2/4.3): pin capacitances of the signal's
+/// consumers plus wiring capacitance from the evolving placement. `m` and
+/// `p` describe the candidate match as an additional (certain) consumer of
+/// `vi`; pass nullptr when computing the candidate's own output load.
+double load_at(const Ctx& ctx, SubjectId vi, const Match* m, const Point* p,
+               std::size_t pin_of_vi_in_m) {
+    double c = 0.0;
+    std::vector<Point> pts;
+    pts.push_back(ctx.pos(vi));
+    for (const SubjectId tf : true_fanouts(ctx, vi)) {
+        if (m != nullptr && is_covered_by(*m, tf)) continue;  // folded into m
+        if (ctx.state[tf] == LifeState::Hawk) {
+            const Gate& gate = ctx.lib.gate(ctx.sol[tf].match.gate);
+            // Find which pin vi drives; fall back to the typical load.
+            double pin_load = gate.typical_input_load();
+            for (std::size_t k = 0; k < ctx.sol[tf].match.inputs.size(); ++k) {
+                if (ctx.sol[tf].match.inputs[k] == vi) {
+                    pin_load = gate.pin(k).input_load;
+                    break;
+                }
+            }
+            c += pin_load;
+            pts.push_back(ctx.sol[tf].position);
+        } else {
+            c += ctx.opts.default_pin_load;  // constant-load assumption
+            pts.push_back(ctx.place_pos[tf]);
+        }
+    }
+    if (m != nullptr && p != nullptr) {
+        c += ctx.lib.gate(m->gate).pin(pin_of_vi_in_m).input_load;
+        pts.push_back(*p);
+    }
+    for (const std::size_t pad : ctx.po_pads_of[vi]) {
+        c += ctx.opts.po_pad_load;
+        pts.push_back(ctx.pad_pos[pad]);
+    }
+    // C_w = c_h * X + c_v * Y over the net's estimated extents.
+    const Rect bb = bounding_box(pts);
+    const double f = chung_hwang_factor(pts.size());
+    c += ctx.opts.cap_per_unit_h * bb.width() * f + ctx.opts.cap_per_unit_v * bb.height() * f;
+    return c;
+}
+
+/// Output arrival of the (already decided) gate at `vi` under a given load:
+/// max over block arrival times plus R_i * C_L (the split of Section 4.3).
+RiseFallPair arrival_under_load(const Ctx& ctx, SubjectId vi, double c_load) {
+    if (ctx.g.node(vi).kind == SubjectKind::Input) return {0.0, 0.0};
+    const LilyNodeSolution& s = ctx.sol[vi];
+    const Gate& gate = ctx.lib.gate(s.match.gate);
+    RiseFallPair out{-1e300, -1e300};
+    for (std::size_t i = 0; i < s.block.size(); ++i) {
+        out.rise = std::max(out.rise, s.block[i].rise + gate.pin(i).rise_fanout * c_load);
+        out.fall = std::max(out.fall, s.block[i].fall + gate.pin(i).fall_fanout * c_load);
+    }
+    return out;
+}
+
+}  // namespace
+
+LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
+                           std::optional<std::vector<Point>> pad_positions) const {
+    LilyResult result;
+
+    // ---- Stage 0: pads + balanced global placement of the inchoate network.
+    SubjectPlacementView view = make_placement_view(g);
+    const Rect region = make_region(view.netlist.total_cell_area());
+    std::vector<Point> pads = pad_positions.has_value()
+                                  ? std::move(*pad_positions)
+                                  : place_pads(view.netlist, region);
+    if (pads.size() != view.netlist.pad_positions.size()) {
+        throw std::invalid_argument("LilyMapper: wrong pad position count");
+    }
+    view.netlist.pad_positions = pads;
+    GlobalPlacement inchoate = place_global(view.netlist, region, opts.placement);
+
+    Ctx ctx{g,
+            *lib_,
+            opts,
+            matcher_,
+            std::move(view),
+            std::move(pads),
+            std::vector<Point>(g.size()),
+            std::vector<LifeState>(g.size(), LifeState::Egg),
+            std::vector<LilyNodeSolution>(g.size()),
+            std::vector<std::vector<std::size_t>>(g.size()),
+            std::vector<bool>(g.size(), false),
+            {},
+            0};
+
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        if (ctx.view.cell_of[v] != kNoCell) {
+            ctx.place_pos[v] = inchoate.positions[ctx.view.cell_of[v]];
+        }
+    }
+    for (std::size_t i = 0; i < g.inputs().size(); ++i) {
+        ctx.place_pos[g.inputs()[i]] = ctx.pad_pos[ctx.view.pad_of_input(i)];
+    }
+    for (std::size_t o = 0; o < g.outputs().size(); ++o) {
+        ctx.po_pads_of[g.outputs()[o].driver].push_back(ctx.view.pad_of_output(o));
+    }
+
+    // ---- Stage 1: cone ordering (Section 3.5).
+    const std::vector<Cone> cones = logic_cones(g);
+    std::vector<std::size_t> order(cones.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (opts.order_cones) order = order_cones(g, cones);
+    result.cone_order = order;
+
+    // ---- Stage 2: per-cone dynamic programming with layout costs.
+    const bool delay_mode = opts.objective == MapObjective::Delay;
+    std::size_t cones_since_replace = 0;
+
+    for (const std::size_t ci : order) {
+        const Cone& cone = cones[ci];
+        for (const SubjectId v : cone.members) {
+            const SubjectNode& n = g.node(v);
+            if (n.kind == SubjectKind::Input) continue;
+            if (ctx.state[v] != LifeState::Egg) continue;  // mapped in an earlier cone
+            ctx.state[v] = LifeState::Nestling;
+
+            auto matches = matcher_.matches_at(g, v);
+            LilyNodeSolution best;
+            double best_key = std::numeric_limits<double>::max();
+            for (Match& m : matches) {
+                if (opts.cover == CoverMode::Trees && !legal_in_tree_mode(g, m)) continue;
+                const Gate& gate = lib_->gate(m.gate);
+                const Point p = candidate_position(ctx, v, m);
+
+                LilyNodeSolution cand;
+                cand.position = p;
+                double key;
+                if (!delay_mode) {
+                    cand.area_cost = gate.area;
+                    cand.local_wire = local_wire_cost(ctx, m, p);
+                    cand.wire_cost = cand.local_wire;
+                    for (const SubjectId vi : m.inputs) {
+                        cand.area_cost += ctx.sol[vi].area_cost;
+                        cand.wire_cost += ctx.sol[vi].wire_cost;
+                    }
+                    cand.cost = cand.area_cost + opts.wire_weight * cand.wire_cost;
+                    key = cand.cost;
+                } else {
+                    // Section 4.4, steps 1-4.
+                    cand.block.resize(m.inputs.size());
+                    for (std::size_t k = 0; k < m.inputs.size(); ++k) {
+                        const SubjectId vi = m.inputs[k];
+                        // 1: accurate arrival at vi with m as a known fanout.
+                        const double c_vi = load_at(ctx, vi, &m, &p, k);
+                        const RiseFallPair t_vi = arrival_under_load(ctx, vi, c_vi);
+                        // 2: block arrival at gate(m) for pin k.
+                        const PinTiming& pin = gate.pin(k);
+                        double rise_from, fall_from;
+                        switch (pin.phase) {
+                            case PinPhase::Inv:
+                                rise_from = t_vi.fall;
+                                fall_from = t_vi.rise;
+                                break;
+                            case PinPhase::NonInv:
+                                rise_from = t_vi.rise;
+                                fall_from = t_vi.fall;
+                                break;
+                            default:
+                                rise_from = t_vi.worst();
+                                fall_from = t_vi.worst();
+                        }
+                        cand.block[k] = {rise_from + pin.rise_block, fall_from + pin.fall_block};
+                    }
+                    // 3: output load from the inchoate fanouts of v.
+                    Match* no_match = nullptr;
+                    Point* no_point = nullptr;
+                    // Temporarily treat v's own covered fanouts as normal
+                    // (the load model uses the inchoate view, Section 4.3).
+                    const double c_out = load_at(ctx, v, no_match, no_point, 0);
+                    // 4: output arrival.
+                    cand.arrival_rise = -1e300;
+                    cand.arrival_fall = -1e300;
+                    for (std::size_t k = 0; k < m.inputs.size(); ++k) {
+                        const PinTiming& pin = gate.pin(k);
+                        cand.arrival_rise = std::max(
+                            cand.arrival_rise, cand.block[k].rise + pin.rise_fanout * c_out);
+                        cand.arrival_fall = std::max(
+                            cand.arrival_fall, cand.block[k].fall + pin.fall_fanout * c_out);
+                    }
+                    cand.local_wire = local_wire_cost(ctx, m, p);
+                    key = cand.worst_arrival();
+                    cand.cost = key;
+                }
+                if (key < best_key ||
+                    (key == best_key && best.has_match &&
+                     gate.area < lib_->gate(best.match.gate).area)) {
+                    best_key = key;
+                    cand.match = std::move(m);
+                    cand.has_match = true;
+                    best = std::move(cand);
+                }
+            }
+            if (!best.has_match) {
+                throw std::runtime_error("LilyMapper: no match at node " + n.name);
+            }
+            ctx.sol[v] = std::move(best);
+        }
+
+        // ---- Commit the cone (needed-walk from its root): the chosen
+        // matches' roots become hawks, absorbed nodes become doves.
+        std::vector<SubjectId> stack;
+        if (g.node(cone.root).kind != SubjectKind::Input && !ctx.committed[cone.root]) {
+            stack.push_back(cone.root);
+            ctx.committed[cone.root] = true;
+        }
+        while (!stack.empty()) {
+            const SubjectId v = stack.back();
+            stack.pop_back();
+            ctx.state[v] = LifeState::Hawk;  // hawks win over earlier dove state
+            const Match& m = ctx.sol[v].match;
+            for (const SubjectId w : m.covered) {
+                if (w != v && ctx.state[w] != LifeState::Hawk) ctx.state[w] = LifeState::Dove;
+            }
+            for (const SubjectId leaf : m.inputs) {
+                if (g.node(leaf).kind == SubjectKind::Input || ctx.committed[leaf]) continue;
+                ctx.committed[leaf] = true;
+                stack.push_back(leaf);
+            }
+        }
+
+        // ---- Optional periodic re-placement of the partially mapped
+        // network (Section 3.2): hawks are pulled toward their mapPositions,
+        // then eggs and hawks pick up fresh placePositions.
+        if (opts.replace_every_n_cones > 0 &&
+            ++cones_since_replace >= opts.replace_every_n_cones) {
+            cones_since_replace = 0;
+            PlacementNetlist anchored = ctx.view.netlist;
+            for (SubjectId v = 0; v < g.size(); ++v) {
+                if (ctx.state[v] != LifeState::Hawk || ctx.view.cell_of[v] == kNoCell) continue;
+                // Strong pull: three parallel 2-pin nets to a virtual pad.
+                const std::size_t pad = anchored.pad_positions.size();
+                anchored.pad_positions.push_back(ctx.sol[v].position);
+                for (int dup = 0; dup < 3; ++dup) {
+                    PlacementNetlist::Net net;
+                    net.cells = {ctx.view.cell_of[v]};
+                    net.pads = {pad};
+                    anchored.nets.push_back(net);
+                }
+            }
+            const GlobalPlacement fresh = place_global(anchored, region, opts.placement);
+            for (SubjectId v = 0; v < g.size(); ++v) {
+                if (ctx.view.cell_of[v] == kNoCell) continue;
+                if (ctx.state[v] == LifeState::Egg || ctx.state[v] == LifeState::Hawk) {
+                    ctx.place_pos[v] = fresh.positions[ctx.view.cell_of[v]];
+                }
+            }
+            ++result.replacements;
+        }
+    }
+
+    // ---- Stage 3: extract the cover and the constructive placement.
+    std::vector<NodeSolution> plain(g.size());
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        plain[v].has_match = ctx.sol[v].has_match;
+        plain[v].match = ctx.sol[v].match;
+        plain[v].cost = ctx.sol[v].cost;
+    }
+    result.netlist = extract_cover(g, *lib_, plain);
+    result.instance_positions.reserve(result.netlist.gates.size());
+    for (const GateInstance& inst : result.netlist.gates) {
+        result.instance_positions.push_back(ctx.sol[inst.driver].position);
+        result.estimated_wirelength += ctx.sol[inst.driver].local_wire;
+    }
+    result.total_area = result.netlist.total_gate_area(*lib_);
+    if (delay_mode) {
+        for (const SubjectOutput& po : g.outputs()) {
+            if (g.node(po.driver).kind == SubjectKind::Input) continue;
+            result.worst_arrival = std::max(result.worst_arrival,
+                                            ctx.sol[po.driver].worst_arrival());
+        }
+    }
+    result.inchoate_placement = std::move(inchoate);
+    result.pad_positions = std::move(ctx.pad_pos);
+    result.final_state = std::move(ctx.state);
+    result.solution = std::move(ctx.sol);
+    return result;
+}
+
+}  // namespace lily

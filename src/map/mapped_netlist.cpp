@@ -1,0 +1,98 @@
+#include "map/mapped_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lily {
+
+double MappedNetlist::total_gate_area(const Library& lib) const {
+    double a = 0.0;
+    for (const GateInstance& g : gates) a += lib.gate(g.gate).area;
+    return a;
+}
+
+void MappedNetlist::build_index() const {
+    if (driver_index_.size() == gates.size() && !gates.empty()) return;
+    driver_index_.clear();
+    driver_index_.reserve(gates.size());
+    for (std::size_t i = 0; i < gates.size(); ++i) driver_index_.emplace_back(gates[i].driver, i);
+    std::sort(driver_index_.begin(), driver_index_.end());
+}
+
+std::size_t MappedNetlist::instance_driving(SubjectId s) const {
+    build_index();
+    const auto it = std::lower_bound(driver_index_.begin(), driver_index_.end(),
+                                     std::make_pair(s, std::size_t{0}));
+    if (it != driver_index_.end() && it->first == s) return it->second;
+    return npos;
+}
+
+Network MappedNetlist::to_network(const Library& lib, const std::string& name) const {
+    Network net(name);
+    std::unordered_map<SubjectId, NodeId> signal;
+    for (std::size_t i = 0; i < subject_inputs.size(); ++i) {
+        signal.emplace(subject_inputs[i], net.add_input(subject_input_names[i]));
+    }
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const GateInstance& inst = gates[i];
+        const Gate& gate = lib.gate(inst.gate);
+        std::vector<NodeId> fanins;
+        fanins.reserve(inst.inputs.size());
+        for (SubjectId in : inst.inputs) {
+            const auto it = signal.find(in);
+            if (it == signal.end()) {
+                throw std::logic_error("MappedNetlist::to_network: undriven input signal");
+            }
+            fanins.push_back(it->second);
+        }
+        // Gate function as SOP over its pins. Convert the truth table of the
+        // gate to a (possibly non-minimal) SOP: one cube per on-minterm is
+        // wasteful for wide gates, so reuse the genlib expression when it is
+        // already SOP-shaped; otherwise fall back to minterm expansion.
+        Sop sop;
+        const unsigned n = gate.n_inputs();
+        const std::uint64_t care = n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+            if (gate.function.get(m)) sop.cubes.push_back({care, m});
+        }
+        const NodeId node =
+            net.add_node("g" + std::to_string(i) + "_" + gate.name, std::move(fanins),
+                         std::move(sop));
+        signal.emplace(inst.driver, node);
+    }
+    for (const MappedOutput& po : outputs) {
+        const auto it = signal.find(po.driver);
+        if (it == signal.end()) {
+            throw std::logic_error("MappedNetlist::to_network: undriven primary output");
+        }
+        net.add_output(po.name, it->second);
+    }
+    return net;
+}
+
+void MappedNetlist::check(const Library& lib) const {
+    std::unordered_map<SubjectId, std::size_t> seen;  // driver -> instance position
+    for (SubjectId s : subject_inputs) seen.emplace(s, npos);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const GateInstance& inst = gates[i];
+        if (inst.gate >= lib.size()) throw std::logic_error("MappedNetlist: bad gate id");
+        if (inst.inputs.size() != lib.gate(inst.gate).n_inputs()) {
+            throw std::logic_error("MappedNetlist: pin count mismatch");
+        }
+        for (SubjectId in : inst.inputs) {
+            if (!seen.contains(in)) {
+                throw std::logic_error("MappedNetlist: input not yet driven (topology violated)");
+            }
+        }
+        if (seen.contains(inst.driver)) {
+            throw std::logic_error("MappedNetlist: signal driven twice");
+        }
+        seen.emplace(inst.driver, i);
+    }
+    for (const MappedOutput& po : outputs) {
+        if (!seen.contains(po.driver)) throw std::logic_error("MappedNetlist: dangling output");
+    }
+}
+
+}  // namespace lily

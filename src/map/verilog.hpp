@@ -1,0 +1,22 @@
+// Structural Verilog writer for mapped netlists: one gate-level module
+// instantiating library cells by name, the interchange format downstream
+// place-and-route tools consume. Combinational only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "map/mapped_netlist.hpp"
+
+namespace lily {
+
+/// Serialize as a structural Verilog module. Cell pins use the library's
+/// pin names plus an `O` output; signal names are derived from subject ids
+/// (inputs keep their interface names, sanitized to Verilog identifiers).
+std::string write_verilog(const MappedNetlist& m, const Library& lib,
+                          const std::string& module_name = "mapped");
+
+void write_verilog_file(const MappedNetlist& m, const Library& lib, const std::string& path,
+                        const std::string& module_name = "mapped");
+
+}  // namespace lily

@@ -1,0 +1,108 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+
+namespace lily {
+
+namespace {
+
+/// Recursive structural match of pattern node `p` against subject node `s`.
+/// `binding` maps pattern variables to subject nodes (kNullSubject = free);
+/// `undo` records variables bound along this branch so failures backtrack.
+bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, SubjectId s,
+               std::vector<SubjectId>& binding, std::vector<unsigned>& undo,
+               std::vector<SubjectId>& covered) {
+    const PatternNode& pn = pat.nodes[static_cast<std::size_t>(p)];
+    switch (pn.kind) {
+        case PatternKind::Input: {
+            SubjectId& slot = binding[pn.var];
+            if (slot == kNullSubject) {
+                slot = s;
+                undo.push_back(pn.var);
+                return true;
+            }
+            return slot == s;
+        }
+        case PatternKind::Inv: {
+            if (g.node(s).kind != SubjectKind::Inv) return false;
+            if (!match_rec(pat, pn.child0, g, g.node(s).fanin0, binding, undo, covered)) {
+                return false;
+            }
+            covered.push_back(s);
+            return true;
+        }
+        case PatternKind::Nand2: {
+            const SubjectNode& sn = g.node(s);
+            if (sn.kind != SubjectKind::Nand2) return false;
+            // Try both child assignments (NAND is commutative); undo partial
+            // bindings between attempts.
+            for (int attempt = 0; attempt < 2; ++attempt) {
+                const SubjectId s0 = attempt == 0 ? sn.fanin0 : sn.fanin1;
+                const SubjectId s1 = attempt == 0 ? sn.fanin1 : sn.fanin0;
+                const std::size_t undo_mark = undo.size();
+                const std::size_t cover_mark = covered.size();
+                if (match_rec(pat, pn.child0, g, s0, binding, undo, covered) &&
+                    match_rec(pat, pn.child1, g, s1, binding, undo, covered)) {
+                    covered.push_back(s);
+                    return true;
+                }
+                while (undo.size() > undo_mark) {
+                    binding[undo.back()] = kNullSubject;
+                    undo.pop_back();
+                }
+                covered.resize(cover_mark);
+                // Symmetric fanins: the second attempt is identical.
+                if (sn.fanin0 == sn.fanin1) break;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v) const {
+    std::vector<Match> out;
+    if (g.node(v).kind == SubjectKind::Input) return out;
+    for (GateId gid = 0; gid < lib_->size(); ++gid) {
+        const Gate& gate = lib_->gate(gid);
+        for (std::uint32_t pi = 0; pi < gate.patterns.size(); ++pi) {
+            const PatternGraph& pat = gate.patterns[pi];
+            std::vector<SubjectId> binding(pat.n_vars, kNullSubject);
+            std::vector<unsigned> undo;
+            std::vector<SubjectId> covered;
+            if (!match_rec(pat, pat.root, g, v, binding, undo, covered)) continue;
+            // Every pattern variable must be bound (gate pins all used).
+            if (std::find(binding.begin(), binding.end(), kNullSubject) != binding.end()) {
+                continue;
+            }
+            if (covered.empty()) continue;  // degenerate pattern (no structure)
+            Match m;
+            m.gate = gid;
+            m.pattern_index = pi;
+            m.inputs = std::move(binding);
+            // Dedupe covered nodes (shared substructure can be visited twice
+            // on strashed subject graphs) and sort topologically (by id);
+            // the root has the largest id of the covered set.
+            std::sort(covered.begin(), covered.end());
+            covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+            m.covered = std::move(covered);
+            // A pattern leaf bound to a node that the same match covers
+            // internally would make the gate feed itself; reject.
+            bool self_feeding = false;
+            for (SubjectId in : m.inputs) {
+                if (std::binary_search(m.covered.begin(), m.covered.end(), in)) {
+                    self_feeding = true;
+                    break;
+                }
+            }
+            if (self_feeding) continue;
+            if (m.covered.back() != v) continue;  // defensive: root must be v
+            out.push_back(std::move(m));
+        }
+    }
+    return out;
+}
+
+}  // namespace lily

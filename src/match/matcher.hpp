@@ -1,0 +1,47 @@
+// Tree matching of library pattern graphs on the subject graph (the core
+// of DAG covering, as in DAGON/MIS). A pattern matches at a subject node
+// when the pattern tree is isomorphic to the subject structure hanging
+// below that node; pattern leaves bind to arbitrary subject nodes (the
+// match's inputs), with repeated pattern variables forced to bind to the
+// same subject node (leaf-DAG semantics, e.g. XOR gates).
+#pragma once
+
+#include <vector>
+
+#include "library/library.hpp"
+#include "subject/subject_graph.hpp"
+
+namespace lily {
+
+/// One way of implementing subject node `root` with a library gate.
+struct Match {
+    GateId gate = kNullGate;
+    std::uint32_t pattern_index = 0;  // into library.gate(gate).patterns
+    /// Binding of gate input pin i (== pattern variable i) to the subject
+    /// node providing that input signal.
+    std::vector<SubjectId> inputs;
+    /// Subject nodes whose logic is absorbed into this gate: the root plus
+    /// every internal (non-leaf) node the pattern overlays, deduplicated,
+    /// in topological order. These are the nodes "merged(v, m)" of the
+    /// paper; non-root members become doves if the match is selected.
+    std::vector<SubjectId> covered;
+
+    SubjectId root() const { return covered.back(); }
+};
+
+/// Matches every pattern of every library gate against subject nodes.
+class Matcher {
+public:
+    explicit Matcher(const Library& lib) : lib_(&lib) {}
+
+    /// All matches rooted at `v` (empty for Input nodes). Always non-empty
+    /// for gate nodes when the library holds the base functions.
+    std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v) const;
+
+    const Library& library() const { return *lib_; }
+
+private:
+    const Library* lib_;
+};
+
+}  // namespace lily

@@ -1,0 +1,29 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer for the
+// combinational subset: .model/.inputs/.outputs/.names/.end, with '\'
+// line continuation and '#' comments. This is the interchange format MIS
+// used, so optimized networks can be loaded from disk and mapped circuits
+// dumped for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/network.hpp"
+
+namespace lily {
+
+/// Parse a BLIF document from a string. Throws std::runtime_error with a
+/// line number on malformed input. Latches and subcircuits are rejected
+/// (combinational-only scope, as in the paper).
+Network read_blif(std::string_view text);
+
+/// Parse from a file path.
+Network read_blif_file(const std::string& path);
+
+/// Serialize; the output round-trips through read_blif.
+std::string write_blif(const Network& net);
+
+void write_blif_file(const Network& net, const std::string& path);
+
+}  // namespace lily

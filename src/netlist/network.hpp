@@ -1,0 +1,118 @@
+// The Boolean network: the technology-independent representation that enters
+// technology mapping ("optimized logic equations" in the paper). Nodes carry
+// SOP functions over their fanins; primary outputs reference driver nodes.
+// Combinational only — every benchmark in the paper is combinational.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/sop.hpp"
+
+namespace lily {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNullNode = std::numeric_limits<NodeId>::max();
+
+enum class NodeKind : std::uint8_t {
+    PrimaryInput,
+    Logic,
+};
+
+struct Node {
+    NodeKind kind = NodeKind::Logic;
+    std::string name;
+    std::vector<NodeId> fanins;
+    Sop function;  // over `fanins`; unused for primary inputs
+    std::vector<NodeId> fanouts;
+    bool is_po_driver = false;
+};
+
+struct PrimaryOutput {
+    std::string name;
+    NodeId driver = kNullNode;
+};
+
+/// A combinational multi-level logic network.
+class Network {
+public:
+    explicit Network(std::string name = "top") : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    // ---- construction -------------------------------------------------
+    NodeId add_input(std::string name);
+    NodeId add_node(std::string name, std::vector<NodeId> fanins, Sop function);
+    void add_output(std::string name, NodeId driver);
+
+    /// Convenience constructors for common gates (used by the circuit
+    /// generators). Each creates one logic node.
+    NodeId make_not(NodeId a, std::string name = {});
+    NodeId make_buf(NodeId a, std::string name = {});
+    NodeId make_and(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_or(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_nand(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_nor(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_xor(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_xnor(std::span<const NodeId> ins, std::string name = {});
+    NodeId make_and2(NodeId a, NodeId b) { return make_and(std::array{a, b}); }
+    NodeId make_or2(NodeId a, NodeId b) { return make_or(std::array{a, b}); }
+    NodeId make_xor2(NodeId a, NodeId b) { return make_xor(std::array{a, b}); }
+    NodeId make_mux(NodeId sel, NodeId when0, NodeId when1, std::string name = {});
+    NodeId make_const(bool value, std::string name = {});
+
+    // ---- access --------------------------------------------------------
+    std::size_t node_count() const { return nodes_.size(); }
+    const Node& node(NodeId id) const { return nodes_[id]; }
+    Node& node(NodeId id) { return nodes_[id]; }
+    std::span<const NodeId> inputs() const { return inputs_; }
+    std::span<const PrimaryOutput> outputs() const { return outputs_; }
+
+    std::optional<NodeId> find_node(std::string_view name) const;
+
+    /// All node ids in creation order (creation order is topological because
+    /// fanins must exist before a node is added).
+    std::vector<NodeId> topological_order() const;
+
+    /// Nodes in the transitive fanin of `root`, including `root`, in
+    /// topological order.
+    std::vector<NodeId> transitive_fanin(NodeId root) const;
+
+    /// Logic nodes only (no PIs), topological order.
+    std::vector<NodeId> logic_nodes() const;
+
+    std::size_t logic_node_count() const;
+    std::size_t literal_count() const;
+    std::size_t max_fanin() const;
+    /// Longest PI->PO path measured in logic levels.
+    std::size_t depth() const;
+
+    /// Remove logic nodes that reach no primary output. Returns the number
+    /// of nodes removed. Ids are invalidated; names are stable.
+    std::size_t sweep();
+
+    /// Validate structural invariants (fanin/fanout symmetry, acyclicity by
+    /// construction order, PO drivers present). Throws std::logic_error on
+    /// violation; cheap enough to call in tests after every transformation.
+    void check() const;
+
+private:
+    NodeId allocate(Node n);
+    std::string fresh_name(const char* prefix);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<PrimaryOutput> outputs_;
+    std::unordered_map<std::string, NodeId> by_name_;
+    std::uint64_t next_auto_ = 0;
+};
+
+}  // namespace lily

@@ -1,0 +1,197 @@
+#include "netlist/sop.hpp"
+
+#include <bit>
+
+namespace lily {
+
+std::size_t Cube::literal_count() const { return static_cast<std::size_t>(std::popcount(care)); }
+
+bool Sop::is_constant() const {
+    if (cubes.empty()) return true;
+    for (const Cube& c : cubes) {
+        if (c.care == 0) return true;  // tautological cube dominates
+    }
+    // Non-empty with only caring cubes: not syntactically constant. (We do
+    // not attempt semantic constant detection here; callers that need it use
+    // TruthTable.)
+    return false;
+}
+
+bool Sop::constant_value() const {
+    if (cubes.empty()) return complement;
+    return !complement;  // contains a tautological cube
+}
+
+std::size_t Sop::literal_count() const {
+    std::size_t n = 0;
+    for (const Cube& c : cubes) n += c.literal_count();
+    return n;
+}
+
+unsigned Sop::max_fanin_index() const {
+    std::uint64_t all = 0;
+    for (const Cube& c : cubes) all |= c.care;
+    if (all == 0) return 0;
+    return 64u - static_cast<unsigned>(std::countl_zero(all));
+}
+
+Sop Sop::and_n(unsigned n) {
+    Sop s;
+    Cube c;
+    for (unsigned i = 0; i < n; ++i) {
+        c.care |= std::uint64_t{1} << i;
+        c.polarity |= std::uint64_t{1} << i;
+    }
+    s.cubes.push_back(c);
+    return s;
+}
+
+Sop Sop::or_n(unsigned n) {
+    Sop s;
+    for (unsigned i = 0; i < n; ++i) s.cubes.push_back(Cube::literal(i, true));
+    return s;
+}
+
+Sop Sop::nand_n(unsigned n) {
+    Sop s = and_n(n);
+    s.complement = true;
+    return s;
+}
+
+Sop Sop::nor_n(unsigned n) {
+    Sop s = or_n(n);
+    s.complement = true;
+    return s;
+}
+
+Sop Sop::xor_n(unsigned n) {
+    if (n == 0) return constant(false);
+    if (n > 10) throw std::invalid_argument("xor_n: too many inputs for SOP expansion");
+    Sop s;
+    const std::uint64_t care = (n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+        if (std::popcount(m) % 2 == 1) s.cubes.push_back({care, m});
+    }
+    return s;
+}
+
+Sop Sop::xnor_n(unsigned n) {
+    Sop s = xor_n(n);
+    s.complement = !s.complement;
+    return s;
+}
+
+Sop Sop::remapped(std::span<const unsigned> map) const {
+    Sop out;
+    out.complement = complement;
+    out.cubes.reserve(cubes.size());
+    for (const Cube& c : cubes) {
+        Cube nc;
+        for (unsigned i = 0; i < 64 && (c.care >> i) != 0; ++i) {
+            if ((c.care >> i) & 1) {
+                const unsigned j = map[i];
+                nc.care |= std::uint64_t{1} << j;
+                if ((c.polarity >> i) & 1) nc.polarity |= std::uint64_t{1} << j;
+            }
+        }
+        out.cubes.push_back(nc);
+    }
+    return out;
+}
+
+TruthTable::TruthTable(unsigned n_vars) : n_vars_(n_vars) {
+    if (n_vars > 16) throw std::invalid_argument("TruthTable: more than 16 variables");
+    const std::size_t bits = std::size_t{1} << n_vars;
+    words_.assign((bits + 63) / 64, 0);
+}
+
+TruthTable TruthTable::from_sop(const Sop& sop, unsigned n_vars) {
+    TruthTable t(n_vars);
+    for (std::size_t m = 0; m < t.n_minterms(); ++m) {
+        if (sop.eval(m)) t.set(m, true);
+    }
+    return t;
+}
+
+TruthTable TruthTable::variable(unsigned index, unsigned n_vars) {
+    if (index >= n_vars) throw std::invalid_argument("TruthTable::variable: index out of range");
+    TruthTable t(n_vars);
+    for (std::size_t m = 0; m < t.n_minterms(); ++m) {
+        if ((m >> index) & 1) t.set(m, true);
+    }
+    return t;
+}
+
+void TruthTable::set(std::size_t minterm, bool v) {
+    const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
+    if (v) {
+        words_[minterm >> 6] |= bit;
+    } else {
+        words_[minterm >> 6] &= ~bit;
+    }
+}
+
+void TruthTable::check_compatible(const TruthTable& o) const {
+    if (n_vars_ != o.n_vars_) {
+        throw std::invalid_argument("TruthTable: variable count mismatch");
+    }
+}
+
+void TruthTable::mask_top() {
+    if (n_vars_ < 6) {
+        words_[0] &= (std::uint64_t{1} << (std::size_t{1} << n_vars_)) - 1;
+    }
+}
+
+TruthTable TruthTable::operator~() const {
+    TruthTable t = *this;
+    for (auto& w : t.words_) w = ~w;
+    t.mask_top();
+    return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+    check_compatible(o);
+    TruthTable t = *this;
+    for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] &= o.words_[i];
+    return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+    check_compatible(o);
+    TruthTable t = *this;
+    for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] |= o.words_[i];
+    return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+    check_compatible(o);
+    TruthTable t = *this;
+    for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] ^= o.words_[i];
+    return t;
+}
+
+bool TruthTable::is_constant() const {
+    const std::size_t ones = count_ones();
+    return ones == 0 || ones == n_minterms();
+}
+
+std::size_t TruthTable::count_ones() const {
+    std::size_t n = 0;
+    for (std::size_t m = 0; m < n_minterms(); ++m) n += get(m) ? 1 : 0;
+    return n;
+}
+
+std::string TruthTable::to_hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    const std::size_t nibbles = std::max<std::size_t>(1, n_minterms() / 4);
+    for (std::size_t i = nibbles; i-- > 0;) {
+        const std::size_t word = (i * 4) >> 6;
+        const unsigned shift = static_cast<unsigned>((i * 4) & 63);
+        out.push_back(digits[(words_[word] >> shift) & 0xF]);
+    }
+    return out;
+}
+
+}  // namespace lily

@@ -1,0 +1,130 @@
+// Sum-of-products node functions. Every logic node in a Network carries its
+// function as an SOP over its fanins (exactly how BLIF .names tables and
+// genlib equations describe gates). Cubes are bit-mask pairs over up to 64
+// fanins, which covers every circuit in this repository with a wide margin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lily {
+
+/// One product term over the fanins of a node. Fanin i participates when
+/// bit i of `care` is set; its required polarity is bit i of `polarity`
+/// (1 = positive literal, 0 = negative literal).
+struct Cube {
+    std::uint64_t care = 0;
+    std::uint64_t polarity = 0;
+
+    constexpr bool operator==(const Cube&) const = default;
+
+    /// Evaluate on one assignment given as a bit vector (bit i = fanin i).
+    bool eval(std::uint64_t assignment) const {
+        return ((assignment ^ polarity) & care) == 0;
+    }
+
+    std::size_t literal_count() const;
+
+    /// Single positive or negative literal on fanin `index`.
+    static Cube literal(unsigned index, bool positive) {
+        Cube c;
+        c.care = std::uint64_t{1} << index;
+        c.polarity = positive ? c.care : 0;
+        return c;
+    }
+};
+
+/// A node function: OR of cubes, optionally complemented. The empty cube
+/// list is constant 0 (so `complement` on an empty list is constant 1), and
+/// a single cube with care == 0 is the tautology.
+struct Sop {
+    std::vector<Cube> cubes;
+    bool complement = false;
+
+    bool eval(std::uint64_t assignment) const {
+        for (const Cube& c : cubes) {
+            if (c.eval(assignment)) return !complement;
+        }
+        return complement;
+    }
+
+    bool is_constant() const;
+    /// Only meaningful when is_constant().
+    bool constant_value() const;
+
+    std::size_t literal_count() const;
+
+    /// Number of fanin slots actually referenced (highest set care bit + 1).
+    unsigned max_fanin_index() const;
+
+    static Sop constant(bool value) {
+        Sop s;
+        s.complement = value;
+        return s;
+    }
+    static Sop identity() { return single_literal(0, true); }
+    static Sop inverter() { return single_literal(0, false); }
+    static Sop single_literal(unsigned index, bool positive) {
+        Sop s;
+        s.cubes.push_back(Cube::literal(index, positive));
+        return s;
+    }
+    /// AND of the first n fanins (all positive).
+    static Sop and_n(unsigned n);
+    /// OR of the first n fanins (all positive).
+    static Sop or_n(unsigned n);
+    /// NAND of the first n fanins.
+    static Sop nand_n(unsigned n);
+    /// NOR of the first n fanins.
+    static Sop nor_n(unsigned n);
+    /// XOR of the first n fanins (2^(n-1) cubes; n <= 10 enforced).
+    static Sop xor_n(unsigned n);
+    /// XNOR of the first n fanins.
+    static Sop xnor_n(unsigned n);
+
+    /// Remap fanin indices: new index of old fanin i is `map[i]`.
+    Sop remapped(std::span<const unsigned> map) const;
+};
+
+/// Exact truth table for functions of up to 16 inputs, bit-packed 64 minterm
+/// evaluations per word. Used by library canonicalization and tests.
+class TruthTable {
+public:
+    TruthTable() : n_vars_(0), words_(1, 0) {}
+    explicit TruthTable(unsigned n_vars);
+
+    static TruthTable from_sop(const Sop& sop, unsigned n_vars);
+    static TruthTable variable(unsigned index, unsigned n_vars);
+
+    unsigned n_vars() const { return n_vars_; }
+    std::size_t n_minterms() const { return std::size_t{1} << n_vars_; }
+
+    bool get(std::size_t minterm) const {
+        return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+    }
+    void set(std::size_t minterm, bool v);
+
+    TruthTable operator~() const;
+    TruthTable operator&(const TruthTable& o) const;
+    TruthTable operator|(const TruthTable& o) const;
+    TruthTable operator^(const TruthTable& o) const;
+    bool operator==(const TruthTable& o) const = default;
+
+    bool is_constant() const;
+    std::size_t count_ones() const;
+
+    /// Hexadecimal string, most significant word first (canonical text form).
+    std::string to_hex() const;
+
+private:
+    void check_compatible(const TruthTable& o) const;
+    void mask_top();
+
+    unsigned n_vars_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lily

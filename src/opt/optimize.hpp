@@ -1,0 +1,69 @@
+// Technology-independent optimization: the front-end phase the paper's
+// input networks have been through ("a Boolean network ... optimized by
+// technology independent synthesis procedures"). Implements the classic
+// MIS-style passes over SOP networks:
+//
+//  * constant propagation and dead-logic sweeping,
+//  * buffer collapsing (identity nodes folded into their fanouts),
+//  * common-cube extraction (shared AND terms become new nodes),
+//  * common-kernel extraction (shared multi-cube divisors become nodes),
+//  * quick_factor decomposition of wide nodes into factored trees.
+//
+// Every pass returns a new Network that is functionally equivalent to its
+// input (checked by the test suite with random simulation).
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/network.hpp"
+
+namespace lily {
+
+struct OptimizeOptions {
+    bool propagate_constants = true;
+    bool collapse_buffers = true;
+    std::size_t max_cube_extractions = 200;
+    std::size_t max_kernel_extractions = 100;
+    /// Nodes with more cubes than this are decomposed by quick_factor.
+    std::size_t factor_cube_limit = 8;
+};
+
+struct OptimizeStats {
+    std::size_t literals_before = 0;
+    std::size_t literals_after = 0;
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    std::size_t constants_folded = 0;
+    std::size_t buffers_collapsed = 0;
+    std::size_t cubes_extracted = 0;
+    std::size_t kernels_extracted = 0;
+};
+
+/// Replace constant-valued logic by constants and simplify their fanouts.
+/// Primary outputs that become constant keep a constant node (callers that
+/// feed the mapper should reject or strip those).
+Network propagate_constants(const Network& net, std::size_t* folded = nullptr);
+
+/// Fold identity (buffer) nodes into their fanouts.
+Network collapse_buffers(const Network& net, std::size_t* removed = nullptr);
+
+/// Extract 2-literal cubes shared by at least 3 cube occurrences network-
+/// wide, repeatedly, up to `max_extractions` new nodes.
+Network extract_common_cubes(const Network& net, std::size_t max_extractions,
+                             std::size_t* made = nullptr);
+
+/// Extract multi-cube kernels shared by at least two nodes, repeatedly, up
+/// to `max_extractions` new nodes.
+Network extract_common_kernels(const Network& net, std::size_t max_extractions,
+                               std::size_t* made = nullptr);
+
+/// Decompose nodes with more than `cube_limit` cubes into factored trees
+/// (quick_factor: most-frequent-literal division, recursively).
+Network factor_wide_nodes(const Network& net, std::size_t cube_limit);
+
+/// The full script: constants, buffers, cube + kernel extraction, factoring,
+/// sweep. Deterministic.
+Network optimize(const Network& net, const OptimizeOptions& opts = {},
+                 OptimizeStats* stats = nullptr);
+
+}  // namespace lily

@@ -1,0 +1,195 @@
+#include "opt/sop_algebra.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lily::alg {
+
+ASop normalized(ASop f) {
+    for (ACube& c : f) {
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+    }
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+    // Absorption: ab + abc = ab. Algebraic division and kernels assume a
+    // single-cube-containment-free SOP; keeping it here makes every
+    // operation's result minimal in that sense.
+    std::vector<bool> drop(f.size(), false);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        if (drop[i]) continue;
+        for (std::size_t j = 0; j < f.size(); ++j) {
+            if (i == j || drop[j]) continue;
+            if (f[j].size() < f[i].size() && cube_contains(f[i], f[j])) {
+                drop[i] = true;
+                break;
+            }
+        }
+    }
+    ASop out;
+    out.reserve(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        if (!drop[i]) out.push_back(std::move(f[i]));
+    }
+    return out;
+}
+
+std::size_t literal_count(const ASop& f) {
+    std::size_t n = 0;
+    for (const ACube& c : f) n += c.size();
+    return n;
+}
+
+bool cube_contains(const ACube& super, const ACube& sub) {
+    return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+ACube cube_remove(const ACube& c, const ACube& d) {
+    ACube out;
+    out.reserve(c.size() - d.size());
+    std::set_difference(c.begin(), c.end(), d.begin(), d.end(), std::back_inserter(out));
+    return out;
+}
+
+ACube common_cube(const ASop& f) {
+    if (f.empty()) return {};
+    ACube acc = f[0];
+    for (std::size_t i = 1; i < f.size() && !acc.empty(); ++i) {
+        ACube next;
+        std::set_intersection(acc.begin(), acc.end(), f[i].begin(), f[i].end(),
+                              std::back_inserter(next));
+        acc = std::move(next);
+    }
+    return acc;
+}
+
+bool is_cube_free(const ASop& f) { return f.size() > 1 && common_cube(f).empty(); }
+
+DivisionResult divide(const ASop& f, const ASop& d) {
+    DivisionResult out;
+    if (d.empty()) {
+        out.remainder = f;
+        return out;
+    }
+    // Quotient = intersection over divisor cubes of {c - di : di subset c}.
+    bool first = true;
+    ASop q;
+    for (const ACube& di : d) {
+        ASop qi;
+        for (const ACube& c : f) {
+            if (cube_contains(c, di)) qi.push_back(cube_remove(c, di));
+        }
+        qi = normalized(std::move(qi));
+        if (first) {
+            q = std::move(qi);
+            first = false;
+        } else {
+            ASop inter;
+            std::set_intersection(q.begin(), q.end(), qi.begin(), qi.end(),
+                                  std::back_inserter(inter));
+            q = std::move(inter);
+        }
+        if (q.empty()) break;
+    }
+    out.quotient = q;
+    // Remainder = f minus the cubes of q*d.
+    const ASop qd = multiply(out.quotient, d);
+    for (const ACube& c : f) {
+        if (!std::binary_search(qd.begin(), qd.end(), c)) out.remainder.push_back(c);
+    }
+    out.remainder = normalized(std::move(out.remainder));
+    return out;
+}
+
+ASop multiply(const ASop& a, const ASop& b) {
+    ASop out;
+    out.reserve(a.size() * b.size());
+    for (const ACube& ca : a) {
+        for (const ACube& cb : b) {
+            ACube c;
+            c.reserve(ca.size() + cb.size());
+            std::merge(ca.begin(), ca.end(), cb.begin(), cb.end(), std::back_inserter(c));
+            c.erase(std::unique(c.begin(), c.end()), c.end());
+            out.push_back(std::move(c));
+        }
+    }
+    return normalized(std::move(out));
+}
+
+ASop add(const ASop& a, const ASop& b) {
+    ASop out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return normalized(std::move(out));
+}
+
+namespace {
+
+void kernel_rec(const ASop& f, Lit min_lit, std::vector<Kernel>& out, const ACube& co_so_far,
+                bool level0_only) {
+    // Literal frequencies.
+    std::map<Lit, std::size_t> freq;
+    for (const ACube& c : f) {
+        for (const Lit l : c) ++freq[l];
+    }
+    for (const auto& [l, n] : freq) {
+        if (n < 2 || l < min_lit) continue;
+        // Sub-expression of cubes containing l, divided by their common cube.
+        ASop sub;
+        for (const ACube& c : f) {
+            if (std::binary_search(c.begin(), c.end(), l)) sub.push_back(c);
+        }
+        const ACube cc = common_cube(sub);
+        // Skip if the common cube holds a literal smaller than l (that
+        // kernel is found on the smaller literal's branch).
+        bool dominated = false;
+        for (const Lit cl : cc) {
+            if (cl < l) {
+                dominated = true;
+                break;
+            }
+        }
+        if (dominated) continue;
+        ASop k;
+        for (const ACube& c : sub) k.push_back(cube_remove(c, cc));
+        k = normalized(std::move(k));
+        ACube co = co_so_far;
+        co.insert(co.end(), cc.begin(), cc.end());
+        std::sort(co.begin(), co.end());
+        out.push_back({co, k});
+        if (!level0_only) kernel_rec(k, l + 1, out, co, false);
+    }
+}
+
+std::vector<Kernel> dedupe_kernels(std::vector<Kernel> ks) {
+    std::sort(ks.begin(), ks.end(), [](const Kernel& a, const Kernel& b) {
+        return a.kernel != b.kernel ? a.kernel < b.kernel : a.co_kernel < b.co_kernel;
+    });
+    ks.erase(std::unique(ks.begin(), ks.end(),
+                         [](const Kernel& a, const Kernel& b) {
+                             return a.kernel == b.kernel && a.co_kernel == b.co_kernel;
+                         }),
+             ks.end());
+    return ks;
+}
+
+std::vector<Kernel> kernels_impl(const ASop& f, bool level0_only) {
+    std::vector<Kernel> out;
+    if (is_cube_free(f)) out.push_back({{}, f});
+    kernel_rec(f, 0, out, {}, level0_only);
+    // Keep only cube-free kernels with >= 2 cubes.
+    std::vector<Kernel> filtered;
+    for (Kernel& k : out) {
+        if (k.kernel.size() >= 2 && common_cube(k.kernel).empty()) {
+            filtered.push_back(std::move(k));
+        }
+    }
+    return dedupe_kernels(std::move(filtered));
+}
+
+}  // namespace
+
+std::vector<Kernel> kernels(const ASop& f) { return kernels_impl(f, false); }
+
+std::vector<Kernel> level0_kernels(const ASop& f) { return kernels_impl(f, true); }
+
+}  // namespace lily::alg

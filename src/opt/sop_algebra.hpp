@@ -1,0 +1,74 @@
+// Algebraic (weak) division, co-kernels and kernels over sum-of-products
+// expressions — the Brayton/McMullen machinery behind multi-level logic
+// optimization (MIS's technology-independent phase, which produces the
+// "optimized logic equations" the mapper consumes).
+//
+// Literals are integers 2*variable + (1 if complemented); a cube is a
+// sorted literal vector; an expression is a sorted cube vector. All
+// operations assume (and preserve) this normal form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lily::alg {
+
+using Lit = std::uint32_t;
+using ACube = std::vector<Lit>;  // sorted, duplicate-free
+using ASop = std::vector<ACube>;  // sorted, duplicate-free
+
+inline constexpr Lit make_lit(std::uint32_t var, bool complemented) {
+    return var * 2 + (complemented ? 1 : 0);
+}
+inline constexpr std::uint32_t lit_var(Lit l) { return l / 2; }
+inline constexpr bool lit_complemented(Lit l) { return (l & 1) != 0; }
+
+/// Sort cubes/literals and drop duplicates (normal form).
+ASop normalized(ASop f);
+
+/// Number of literals summed over all cubes.
+std::size_t literal_count(const ASop& f);
+
+/// True if `sub` is a subset of `super` (both sorted).
+bool cube_contains(const ACube& super, const ACube& sub);
+
+/// Remove the literals of `d` from `c` (d must be contained in c).
+ACube cube_remove(const ACube& c, const ACube& d);
+
+/// Largest cube dividing every cube of f (the common cube).
+ACube common_cube(const ASop& f);
+
+/// f is cube-free iff no single literal divides every cube.
+bool is_cube_free(const ASop& f);
+
+/// Algebraic division f = q * d + r. `d` may have several cubes. The
+/// quotient is the largest q with q*d algebraically contained in f.
+struct DivisionResult {
+    ASop quotient;
+    ASop remainder;
+};
+DivisionResult divide(const ASop& f, const ASop& d);
+
+/// Algebraic product (assumes the operands share no variables — true for
+/// quotient times divisor in re-substitution).
+ASop multiply(const ASop& a, const ASop& b);
+
+/// Sum (union) of two expressions.
+ASop add(const ASop& a, const ASop& b);
+
+/// One kernel of f with its co-kernel: K = f / co is cube-free with >= 2
+/// cubes (or f itself when f is cube-free).
+struct Kernel {
+    ACube co_kernel;
+    ASop kernel;
+};
+
+/// All kernels of f (level-wise recursion, duplicates removed). The trivial
+/// kernel (f itself, when cube-free) is included.
+std::vector<Kernel> kernels(const ASop& f);
+
+/// Level-0 kernels only (no kernel of a kernel) — cheaper, what fast
+/// extraction uses.
+std::vector<Kernel> level0_kernels(const ASop& f);
+
+}  // namespace lily::alg

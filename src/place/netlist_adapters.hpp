@@ -1,0 +1,51 @@
+// Adapters that expose a subject graph (the inchoate network) or a mapped
+// netlist to the placer. Pads are the primary inputs followed by the
+// primary outputs, in interface order — identical for both views, so pad
+// positions chosen before mapping remain valid for the mapped circuit
+// (the paper fixes the I/O assignment before technology mapping).
+#pragma once
+
+#include "map/mapped_netlist.hpp"
+#include "place/placement.hpp"
+#include "subject/subject_graph.hpp"
+
+namespace lily {
+
+inline constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
+struct SubjectPlacementView {
+    PlacementNetlist netlist;               // pad_positions sized, zeroed
+    std::vector<std::size_t> cell_of;       // SubjectId -> cell index / kNoCell
+    std::vector<SubjectId> subject_of;      // cell index -> SubjectId
+    std::size_t n_input_pads = 0;           // pads [0, n_input_pads) are PIs
+
+    std::size_t pad_of_input(std::size_t input_ordinal) const { return input_ordinal; }
+    std::size_t pad_of_output(std::size_t output_ordinal) const {
+        return n_input_pads + output_ordinal;
+    }
+};
+
+/// Base-gate cell areas used for the inchoate placement's point model.
+inline constexpr double kInvCellArea = 1.0;
+inline constexpr double kNandCellArea = 2.0;
+
+SubjectPlacementView make_placement_view(const SubjectGraph& g);
+
+struct MappedPlacementView {
+    PlacementNetlist netlist;
+    std::vector<std::size_t> cell_of_instance;  // instance -> cell (identity)
+    std::size_t n_input_pads = 0;
+
+    std::size_t pad_of_input(std::size_t input_ordinal) const { return input_ordinal; }
+    std::size_t pad_of_output(std::size_t output_ordinal) const {
+        return n_input_pads + output_ordinal;
+    }
+};
+
+MappedPlacementView make_placement_view(const MappedNetlist& m, const Library& lib);
+
+/// Square region sized for the given total cell area at `utilization`
+/// occupancy, centered at the origin.
+Rect make_region(double total_cell_area, double utilization = 0.5);
+
+}  // namespace lily

@@ -1,0 +1,103 @@
+// Placement substrate (the paper's GORDIAN substitute, refs [14][21]):
+// quadratic global placement with fixed I/O pads, recursive center-of-mass
+// partitioning for balance, connectivity-driven pad placement (ref [20]
+// substitute) and row-based legalization (detailed placement).
+//
+// The placer is netlist-agnostic: it sees movable cells, fixed pads, and
+// nets over both. Adapters for subject graphs and mapped netlists live in
+// netlist_adapters.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace lily {
+
+/// The placement view of a circuit.
+struct PlacementNetlist {
+    std::size_t n_cells = 0;            // movable objects, indexed 0..n_cells-1
+    std::vector<double> cell_area;      // size n_cells
+    std::vector<Point> pad_positions;   // fixed objects (I/O pads)
+
+    struct Net {
+        std::vector<std::size_t> cells;
+        std::vector<std::size_t> pads;
+        std::size_t pin_count() const { return cells.size() + pads.size(); }
+    };
+    std::vector<Net> nets;
+
+    double total_cell_area() const;
+    void check() const;  // throws std::logic_error on bad indices
+};
+
+struct GlobalPlacementOptions {
+    /// Stop partitioning when a region holds at most this many cells. The
+    /// paper stops early on purpose: a *global* placement (several modules
+    /// per region) preserves the connectivity structure better than forcing
+    /// rows too soon (Section 3.1).
+    std::size_t max_cells_per_region = 4;
+    /// Anchor spring to the region center; doubled every partition level.
+    double anchor_weight = 0.02;
+    double cg_tolerance = 1e-9;
+    std::size_t cg_max_iters = 2000;
+};
+
+struct GlobalPlacement {
+    std::vector<Point> positions;  // one per cell
+    Rect region;
+    std::size_t partition_levels = 0;
+};
+
+/// Quadratic ("Euclidean distance squared", Section 3.1) global placement:
+/// clique net model, conjugate-gradient solves per axis, recursive
+/// bipartitioning with center-of-mass anchoring for balance. Every cell
+/// ends inside `region`; pads should sit on or near its boundary.
+GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
+                             const GlobalPlacementOptions& opts = {});
+
+/// One unconstrained quadratic solve (level 0 of place_global) — the "point
+/// placement" used for pad assignment and for tests.
+GlobalPlacement place_quadratic(const PlacementNetlist& nl, const Rect& region,
+                                const GlobalPlacementOptions& opts = {});
+
+/// Connectivity-driven pad placement (bottom-up, ref [20] substitute):
+/// choose positions on the boundary of `region` for all pads, ordering them
+/// by the angular position of their connected cells' center of mass.
+/// `nl.pad_positions` is ignored on input; returns one boundary point per pad.
+std::vector<Point> place_pads(const PlacementNetlist& nl, const Rect& region);
+
+/// Uniformly spaced boundary slots (pads in given order); the trivial pad
+/// placement used as an ablation baseline.
+std::vector<Point> uniform_pad_ring(std::size_t n_pads, const Rect& region);
+
+struct DetailedPlacement {
+    std::vector<Point> positions;   // cell centers after legalization
+    std::vector<int> row_of;        // row index per cell
+    double row_height = 1.0;
+    std::size_t n_rows = 0;
+    Rect region;
+};
+
+/// Row-based legalization: snap the balanced global placement into standard
+/// cell rows (sorted into rows by y, packed within each row by x order,
+/// respecting per-row capacity).
+DetailedPlacement legalize_rows(const PlacementNetlist& nl, const GlobalPlacement& global,
+                                double row_height = 1.0, double utilization = 0.85);
+
+/// Wirelength-driven intra-row refinement: adjacent same-row cells are
+/// swapped (and the row re-packed locally) whenever the half-perimeter
+/// wirelength of their incident nets decreases. Classic detailed-placement
+/// polish; returns the number of swaps applied.
+std::size_t improve_rows(const PlacementNetlist& nl, DetailedPlacement& dp,
+                         std::size_t max_passes = 4);
+
+/// Total half-perimeter wirelength of all nets under the given positions.
+double total_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions);
+
+/// Sum of squared Euclidean lengths over the clique net model — the
+/// objective place_global minimizes (for monotonicity tests).
+double quadratic_objective(const PlacementNetlist& nl, std::span<const Point> cell_positions);
+
+}  // namespace lily

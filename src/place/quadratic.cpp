@@ -1,0 +1,211 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "place/placement.hpp"
+#include "util/sparse.hpp"
+
+namespace lily {
+
+double PlacementNetlist::total_cell_area() const {
+    double a = 0.0;
+    for (const double c : cell_area) a += c;
+    return a;
+}
+
+void PlacementNetlist::check() const {
+    if (cell_area.size() != n_cells) throw std::logic_error("PlacementNetlist: area size");
+    for (const Net& net : nets) {
+        for (const std::size_t c : net.cells) {
+            if (c >= n_cells) throw std::logic_error("PlacementNetlist: bad cell index");
+        }
+        for (const std::size_t p : net.pads) {
+            if (p >= pad_positions.size()) throw std::logic_error("PlacementNetlist: bad pad");
+        }
+    }
+}
+
+namespace {
+
+/// One quadratic solve: clique model with weight 2/k per pin pair, anchors
+/// as diagonal springs. Solves x and y independently.
+void solve_qp(const PlacementNetlist& nl, std::span<const Point> anchor_pos,
+              std::span<const double> anchor_w, const GlobalPlacementOptions& opts,
+              std::vector<Point>& positions) {
+    const std::size_t n = nl.n_cells;
+    if (n == 0) return;
+
+    SparseMatrix::Builder builder(n);
+    std::vector<double> bx(n, 0.0);
+    std::vector<double> by(n, 0.0);
+
+    for (const PlacementNetlist::Net& net : nl.nets) {
+        const std::size_t k = net.pin_count();
+        if (k < 2) continue;
+        const double w = 2.0 / static_cast<double>(k);
+        // Cell-cell springs.
+        for (std::size_t i = 0; i < net.cells.size(); ++i) {
+            for (std::size_t j = i + 1; j < net.cells.size(); ++j) {
+                builder.add_spring(net.cells[i], net.cells[j], w);
+            }
+            // Cell-pad springs (pad is fixed: folds into diagonal + rhs).
+            for (const std::size_t p : net.pads) {
+                builder.add_anchor(net.cells[i], w);
+                bx[net.cells[i]] += w * nl.pad_positions[p].x;
+                by[net.cells[i]] += w * nl.pad_positions[p].y;
+            }
+        }
+    }
+    // Region anchors (balance + regularization so the system is SPD even
+    // for cells with no path to a pad).
+    for (std::size_t c = 0; c < n; ++c) {
+        const double w = std::max(anchor_w[c], 1e-9);
+        builder.add_anchor(c, w);
+        bx[c] += w * anchor_pos[c].x;
+        by[c] += w * anchor_pos[c].y;
+    }
+
+    const SparseMatrix a = std::move(builder).build();
+    std::vector<double> x(n), y(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        x[c] = positions[c].x;
+        y[c] = positions[c].y;
+    }
+    conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters);
+    conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters);
+    for (std::size_t c = 0; c < n; ++c) positions[c] = {x[c], y[c]};
+}
+
+struct Region {
+    Rect rect;
+    std::vector<std::size_t> cells;
+};
+
+}  // namespace
+
+GlobalPlacement place_quadratic(const PlacementNetlist& nl, const Rect& region,
+                                const GlobalPlacementOptions& opts) {
+    nl.check();
+    GlobalPlacement out;
+    out.region = region;
+    out.positions.assign(nl.n_cells, region.center());
+    std::vector<Point> anchor_pos(nl.n_cells, region.center());
+    std::vector<double> anchor_w(nl.n_cells, opts.anchor_weight * 1e-3);
+    solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
+    return out;
+}
+
+GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
+                             const GlobalPlacementOptions& opts) {
+    GlobalPlacement out = place_quadratic(nl, region, opts);
+    if (nl.n_cells == 0) return out;
+
+    // Recursive bipartitioning with center-of-mass anchoring (GORDIAN
+    // style): regions are split along their longer side, cells are divided
+    // by their current coordinate so each half receives (close to) half the
+    // cell area, then the whole system is re-solved with every cell pulled
+    // toward its region center.
+    std::vector<Region> regions(1);
+    regions[0].rect = region;
+    regions[0].cells.resize(nl.n_cells);
+    for (std::size_t c = 0; c < nl.n_cells; ++c) regions[0].cells[c] = c;
+
+    double anchor = opts.anchor_weight;
+    std::vector<Point> anchor_pos(nl.n_cells, region.center());
+    std::vector<double> anchor_w(nl.n_cells, 0.0);
+
+    while (true) {
+        bool any_split = false;
+        std::vector<Region> next;
+        next.reserve(regions.size() * 2);
+        for (Region& r : regions) {
+            if (r.cells.size() <= opts.max_cells_per_region) {
+                next.push_back(std::move(r));
+                continue;
+            }
+            any_split = true;
+            const bool split_x = r.rect.width() >= r.rect.height();
+            std::sort(r.cells.begin(), r.cells.end(), [&](std::size_t a, std::size_t b) {
+                return split_x ? out.positions[a].x < out.positions[b].x
+                               : out.positions[a].y < out.positions[b].y;
+            });
+            // Area-balanced cut point.
+            double total = 0.0;
+            for (const std::size_t c : r.cells) total += nl.cell_area[c];
+            double acc = 0.0;
+            std::size_t cut = 0;
+            while (cut < r.cells.size() && acc + nl.cell_area[r.cells[cut]] / 2.0 < total / 2.0) {
+                acc += nl.cell_area[r.cells[cut]];
+                ++cut;
+            }
+            cut = std::clamp<std::size_t>(cut, 1, r.cells.size() - 1);
+            const double frac = total > 0 ? acc / total : 0.5;
+
+            Region lo, hi;
+            if (split_x) {
+                const double split_at = r.rect.ll.x + r.rect.width() * frac;
+                lo.rect = {r.rect.ll, {split_at, r.rect.ur.y}};
+                hi.rect = {{split_at, r.rect.ll.y}, r.rect.ur};
+            } else {
+                const double split_at = r.rect.ll.y + r.rect.height() * frac;
+                lo.rect = {r.rect.ll, {r.rect.ur.x, split_at}};
+                hi.rect = {{r.rect.ll.x, split_at}, r.rect.ur};
+            }
+            lo.cells.assign(r.cells.begin(), r.cells.begin() + static_cast<std::ptrdiff_t>(cut));
+            hi.cells.assign(r.cells.begin() + static_cast<std::ptrdiff_t>(cut), r.cells.end());
+            next.push_back(std::move(lo));
+            next.push_back(std::move(hi));
+        }
+        regions = std::move(next);
+        if (!any_split) break;
+
+        ++out.partition_levels;
+        for (const Region& r : regions) {
+            for (const std::size_t c : r.cells) {
+                anchor_pos[c] = r.rect.center();
+                anchor_w[c] = anchor;
+            }
+        }
+        solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
+        anchor *= 2.0;  // firm up level by level
+    }
+
+    // Clamp into the region (anchors keep everything inside in practice).
+    for (Point& p : out.positions) {
+        p.x = std::clamp(p.x, region.ll.x, region.ur.x);
+        p.y = std::clamp(p.y, region.ll.y, region.ur.y);
+    }
+    return out;
+}
+
+double total_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions) {
+    double sum = 0.0;
+    for (const PlacementNetlist::Net& net : nl.nets) {
+        Rect bb;
+        for (const std::size_t c : net.cells) bb.expand(cell_positions[c]);
+        for (const std::size_t p : net.pads) bb.expand(nl.pad_positions[p]);
+        sum += bb.half_perimeter();
+    }
+    return sum;
+}
+
+double quadratic_objective(const PlacementNetlist& nl, std::span<const Point> cell_positions) {
+    double sum = 0.0;
+    for (const PlacementNetlist::Net& net : nl.nets) {
+        const std::size_t k = net.pin_count();
+        if (k < 2) continue;
+        const double w = 2.0 / static_cast<double>(k);
+        std::vector<Point> pins;
+        pins.reserve(k);
+        for (const std::size_t c : net.cells) pins.push_back(cell_positions[c]);
+        for (const std::size_t p : net.pads) pins.push_back(nl.pad_positions[p]);
+        for (std::size_t i = 0; i < pins.size(); ++i) {
+            for (std::size_t j = i + 1; j < pins.size(); ++j) {
+                sum += w * euclidean_sq(pins[i], pins[j]);
+            }
+        }
+    }
+    return sum;
+}
+
+}  // namespace lily

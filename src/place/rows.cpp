@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "place/placement.hpp"
+
+namespace lily {
+
+DetailedPlacement legalize_rows(const PlacementNetlist& nl, const GlobalPlacement& global,
+                                double row_height, double utilization) {
+    if (utilization <= 0.0 || utilization > 1.0) {
+        throw std::invalid_argument("legalize_rows: utilization must be in (0, 1]");
+    }
+    DetailedPlacement out;
+    out.region = global.region;
+    out.row_height = row_height;
+    out.positions.assign(nl.n_cells, global.region.center());
+    out.row_of.assign(nl.n_cells, 0);
+    if (nl.n_cells == 0) {
+        out.n_rows = 0;
+        return out;
+    }
+
+    // Cell widths under a uniform row height.
+    std::vector<double> width(nl.n_cells);
+    for (std::size_t c = 0; c < nl.n_cells; ++c) {
+        width[c] = std::max(nl.cell_area[c] / row_height, 1e-6);
+    }
+    const double total_width = std::accumulate(width.begin(), width.end(), 0.0);
+
+    // Row count: enough capacity at the requested utilization, bounded by
+    // the region height.
+    const double region_w = std::max(global.region.width(), 1e-9);
+    std::size_t n_rows = static_cast<std::size_t>(
+        std::ceil(total_width / (region_w * utilization)));
+    n_rows = std::clamp<std::size_t>(
+        n_rows, 1,
+        std::max<std::size_t>(1, static_cast<std::size_t>(global.region.height() / row_height)));
+    out.n_rows = n_rows;
+
+    // Sort cells by global y, then deal them into rows by capacity.
+    std::vector<std::size_t> by_y(nl.n_cells);
+    std::iota(by_y.begin(), by_y.end(), std::size_t{0});
+    std::sort(by_y.begin(), by_y.end(), [&](std::size_t a, std::size_t b) {
+        return global.positions[a].y < global.positions[b].y;
+    });
+    // Proportional assignment: cell at cumulative width W goes to row
+    // floor(W / capacity), so every row holds `capacity` of width within
+    // one cell — no row soaks up the tail.
+    const double capacity = total_width / static_cast<double>(n_rows);
+    std::vector<std::vector<std::size_t>> rows(n_rows);
+    {
+        double cum = 0.0;
+        for (const std::size_t c : by_y) {
+            const double mid = cum + width[c] / 2.0;
+            const std::size_t row = std::min<std::size_t>(
+                n_rows - 1, static_cast<std::size_t>(mid / std::max(capacity, 1e-12)));
+            rows[row].push_back(c);
+            cum += width[c];
+        }
+    }
+
+    // Within each row: order by global x and pack, centered in the region.
+    const double row_pitch = global.region.height() / static_cast<double>(n_rows);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        auto& cells = rows[r];
+        std::sort(cells.begin(), cells.end(), [&](std::size_t a, std::size_t b) {
+            return global.positions[a].x < global.positions[b].x;
+        });
+        double row_width = 0.0;
+        for (const std::size_t c : cells) row_width += width[c];
+        // Center the row, but keep it inside the region whenever it fits
+        // (rows can exceed nominal capacity by at most one cell).
+        double x = global.region.center().x - row_width / 2.0;
+        x = std::max(x, global.region.ll.x);
+        if (row_width <= global.region.width()) {
+            x = std::min(x, global.region.ur.x - row_width);
+        }
+        const double y = global.region.ll.y + (static_cast<double>(r) + 0.5) * row_pitch;
+        for (const std::size_t c : cells) {
+            out.positions[c] = {x + width[c] / 2.0, y};
+            out.row_of[c] = static_cast<int>(r);
+            x += width[c];
+        }
+    }
+    return out;
+}
+
+}  // namespace lily
+
+namespace lily {
+
+std::size_t improve_rows(const PlacementNetlist& nl, DetailedPlacement& dp,
+                         std::size_t max_passes) {
+    // Incident nets per cell.
+    std::vector<std::vector<std::size_t>> incident(nl.n_cells);
+    for (std::size_t net = 0; net < nl.nets.size(); ++net) {
+        for (const std::size_t c : nl.nets[net].cells) incident[c].push_back(net);
+    }
+    const auto net_hpwl = [&](std::size_t net) {
+        Rect bb;
+        for (const std::size_t c : nl.nets[net].cells) bb.expand(dp.positions[c]);
+        for (const std::size_t p : nl.nets[net].pads) bb.expand(nl.pad_positions[p]);
+        return bb.half_perimeter();
+    };
+    const auto local_cost = [&](std::size_t a, std::size_t b) {
+        double sum = 0.0;
+        for (const std::size_t net : incident[a]) sum += net_hpwl(net);
+        for (const std::size_t net : incident[b]) {
+            // Avoid double counting nets shared by both cells.
+            if (std::find(incident[a].begin(), incident[a].end(), net) == incident[a].end()) {
+                sum += net_hpwl(net);
+            }
+        }
+        return sum;
+    };
+
+    // Row membership, ordered by x.
+    std::vector<std::vector<std::size_t>> rows(dp.n_rows);
+    for (std::size_t c = 0; c < nl.n_cells; ++c) {
+        rows[static_cast<std::size_t>(dp.row_of[c])].push_back(c);
+    }
+    for (auto& row : rows) {
+        std::sort(row.begin(), row.end(), [&](std::size_t a, std::size_t b) {
+            return dp.positions[a].x < dp.positions[b].x;
+        });
+    }
+
+    std::size_t swaps = 0;
+    for (std::size_t pass = 0; pass < max_passes; ++pass) {
+        bool changed = false;
+        for (auto& row : rows) {
+            for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+                const std::size_t a = row[i];
+                const std::size_t b = row[i + 1];
+                const double wa = nl.cell_area[a] / dp.row_height;
+                const double wb = nl.cell_area[b] / dp.row_height;
+                const double start = dp.positions[a].x - wa / 2.0;
+                const double before = local_cost(a, b);
+                // Swap order: b first, then a, keeping the packing tight.
+                dp.positions[b].x = start + wb / 2.0;
+                dp.positions[a].x = start + wb + wa / 2.0;
+                const double after = local_cost(a, b);
+                if (after + 1e-12 < before) {
+                    std::swap(row[i], row[i + 1]);
+                    ++swaps;
+                    changed = true;
+                } else {  // revert
+                    dp.positions[a].x = start + wa / 2.0;
+                    dp.positions[b].x = start + wa + wb / 2.0;
+                }
+            }
+        }
+        if (!changed) break;
+    }
+    return swaps;
+}
+
+}  // namespace lily

@@ -1,0 +1,15 @@
+#include "route/chip_area.hpp"
+
+namespace lily {
+
+ChipAreaEstimate estimate_chip_area(double total_cell_area, const RouteResult& routed,
+                                    const ChipAreaOptions& opts) {
+    ChipAreaEstimate est;
+    est.cell_area = total_cell_area;
+    est.routing_area =
+        routed.total_wirelength * opts.wire_pitch + routed.total_overflow * opts.overflow_penalty;
+    est.chip_area = est.cell_area + est.routing_area;
+    return est;
+}
+
+}  // namespace lily

@@ -1,0 +1,29 @@
+// Standard-cell chip area prediction (the paper's ref [15] substitute:
+// "Interconnection length estimation for optimized standard cell layouts").
+// The final chip area is the active cell area plus the area the wiring
+// consumes (routed length x effective wire pitch), inflated by congestion:
+// locally over-subscribed routing regions force the channels to widen.
+#pragma once
+
+#include "route/global_router.hpp"
+
+namespace lily {
+
+struct ChipAreaOptions {
+    /// Area one unit of routed wirelength consumes (effective pitch times
+    /// the share of wiring that cannot be folded over the cells).
+    double wire_pitch = 0.21;
+    /// Additional area per unit of overflow (congested channels widen).
+    double overflow_penalty = 0.6;
+};
+
+struct ChipAreaEstimate {
+    double cell_area = 0.0;
+    double routing_area = 0.0;
+    double chip_area = 0.0;
+};
+
+ChipAreaEstimate estimate_chip_area(double total_cell_area, const RouteResult& routed,
+                                    const ChipAreaOptions& opts = {});
+
+}  // namespace lily

@@ -1,0 +1,294 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "route/wire_models.hpp"
+
+namespace lily {
+
+namespace {
+
+struct GridMap {
+    const Rect region;
+    const std::size_t n;
+
+    std::size_t to_col(double x) const {
+        const double t = (x - region.ll.x) / std::max(region.width(), 1e-12);
+        return std::min(n - 1, static_cast<std::size_t>(std::max(t, 0.0) *
+                                                        static_cast<double>(n)));
+    }
+    std::size_t to_row(double y) const {
+        const double t = (y - region.ll.y) / std::max(region.height(), 1e-12);
+        return std::min(n - 1, static_cast<std::size_t>(std::max(t, 0.0) *
+                                                        static_cast<double>(n)));
+    }
+    double cell_w() const { return region.width() / static_cast<double>(n); }
+    double cell_h() const { return region.height() / static_cast<double>(n); }
+};
+
+/// Edge-usage accessor: horizontal edge (x,y)->(x+1,y) at h[x + y*(n-1)],
+/// vertical edge (x,y)->(x,y+1) at v[x + y*n].
+struct Usage {
+    std::size_t n;
+    std::vector<double>& h;
+    std::vector<double>& v;
+    double& horiz(std::size_t x, std::size_t y) { return h[x + y * (n - 1)]; }
+    double& vert(std::size_t x, std::size_t y) { return v[x + y * n]; }
+};
+
+}  // namespace
+
+RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                         const Rect& region, const RouterOptions& opts) {
+    RouteResult res;
+    res.grid = opts.grid;
+    const std::size_t n = std::max<std::size_t>(opts.grid, 2);
+    res.h_usage.assign((n - 1) * n, 0.0);
+    res.v_usage.assign(n * (n - 1), 0.0);
+    const GridMap grid{region, n};
+    Usage usage{n, res.h_usage, res.v_usage};
+
+    // Estimate capacity from total demand if not given: perfectly even
+    // traffic would load every edge equally; allow 60% headroom.
+    double capacity = opts.capacity_per_edge;
+
+    const auto pin_point = [&](const PlacementNetlist::Net& net, std::size_t k) {
+        return k < net.cells.size() ? cell_positions[net.cells[k]]
+                                    : nl.pad_positions[net.pads[k - net.cells.size()]];
+    };
+
+    // Pass 1: collect the two-pin connections of every net (MST edges).
+    struct TwoPin {
+        std::size_t x0, y0, x1, y1;
+    };
+    std::vector<TwoPin> connections;
+    for (const PlacementNetlist::Net& net : nl.nets) {
+        const std::size_t k = net.pin_count();
+        if (k < 2) continue;
+        std::vector<Point> pins(k);
+        for (std::size_t i = 0; i < k; ++i) pins[i] = pin_point(net, i);
+        // Prim MST, recording edges.
+        std::vector<double> best(k, std::numeric_limits<double>::max());
+        std::vector<std::size_t> parent(k, 0);
+        std::vector<bool> used(k, false);
+        best[0] = 0.0;
+        for (std::size_t step = 0; step < k; ++step) {
+            std::size_t u = k;
+            for (std::size_t i = 0; i < k; ++i) {
+                if (!used[i] && (u == k || best[i] < best[u])) u = i;
+            }
+            used[u] = true;
+            if (u != 0) {
+                connections.push_back({grid.to_col(pins[parent[u]].x),
+                                       grid.to_row(pins[parent[u]].y),
+                                       grid.to_col(pins[u].x), grid.to_row(pins[u].y)});
+            }
+            for (std::size_t v2 = 0; v2 < k; ++v2) {
+                const double d = manhattan(pins[u], pins[v2]);
+                if (!used[v2] && d < best[v2]) {
+                    best[v2] = d;
+                    parent[v2] = u;
+                }
+            }
+        }
+    }
+
+    if (capacity <= 0.0) {
+        double demand = 0.0;
+        for (const TwoPin& c : connections) {
+            demand += static_cast<double>((c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0) +
+                                          (c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0));
+        }
+        const double n_edges = static_cast<double>(res.h_usage.size() + res.v_usage.size());
+        capacity = std::max(1.0, demand / n_edges * 1.6);
+    }
+
+    // Cost of adding one wire to an edge with current usage u.
+    const auto edge_cost = [&](double u) {
+        return u < capacity ? 1.0 : 1.0 + opts.congestion_penalty * (u - capacity + 1.0);
+    };
+
+    // Pass 2: route each connection with the cheaper L-shape; subsequent
+    // rip-up passes re-decide against the full congestion picture.
+    const auto walk_horiz = [&](std::size_t y, std::size_t xa, std::size_t xb, double delta,
+                                double* cost) {
+        if (xa > xb) std::swap(xa, xb);
+        for (std::size_t x = xa; x < xb; ++x) {
+            if (cost != nullptr) *cost += edge_cost(usage.horiz(x, y));
+            usage.horiz(x, y) += delta;
+        }
+    };
+    const auto walk_vert = [&](std::size_t x, std::size_t ya, std::size_t yb, double delta,
+                               double* cost) {
+        if (ya > yb) std::swap(ya, yb);
+        for (std::size_t y = ya; y < yb; ++y) {
+            if (cost != nullptr) *cost += edge_cost(usage.vert(x, y));
+            usage.vert(x, y) += delta;
+        }
+    };
+    // Chosen shape per connection: true = horizontal-first.
+    std::vector<char> horiz_first(connections.size(), 1);
+
+    const auto commit = [&](const TwoPin& c, bool hf, double delta) {
+        if (hf) {
+            walk_horiz(c.y0, c.x0, c.x1, delta, nullptr);
+            walk_vert(c.x1, c.y0, c.y1, delta, nullptr);
+        } else {
+            walk_vert(c.x0, c.y0, c.y1, delta, nullptr);
+            walk_horiz(c.y1, c.x0, c.x1, delta, nullptr);
+        }
+    };
+    const auto choose = [&](const TwoPin& c) {
+        double cost_a = 0.0;
+        walk_horiz(c.y0, c.x0, c.x1, 0.0, &cost_a);
+        walk_vert(c.x1, c.y0, c.y1, 0.0, &cost_a);
+        double cost_b = 0.0;
+        walk_vert(c.x0, c.y0, c.y1, 0.0, &cost_b);
+        walk_horiz(c.y1, c.x0, c.x1, 0.0, &cost_b);
+        return cost_a <= cost_b;
+    };
+
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+        horiz_first[i] = choose(connections[i]) ? 1 : 0;
+        commit(connections[i], horiz_first[i] != 0, +1.0);
+    }
+    for (std::size_t pass = 0; pass < opts.reroute_passes; ++pass) {
+        bool changed = false;
+        for (std::size_t i = 0; i < connections.size(); ++i) {
+            commit(connections[i], horiz_first[i] != 0, -1.0);  // rip up
+            const char best = choose(connections[i]) ? 1 : 0;
+            if (best != horiz_first[i]) changed = true;
+            horiz_first[i] = best;
+            commit(connections[i], horiz_first[i] != 0, +1.0);
+        }
+        if (!changed) break;
+    }
+    // Maze fallback: connections still touching overflowed edges are ripped
+    // up and re-routed with Dijkstra over the congestion costs, allowing
+    // detours around hot spots.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> maze_path(
+        connections.size());
+    const auto l_touches_overflow = [&](const TwoPin& c, bool hf) {
+        bool hot = false;
+        const auto probe_h = [&](std::size_t y, std::size_t xa, std::size_t xb) {
+            if (xa > xb) std::swap(xa, xb);
+            for (std::size_t x = xa; x < xb; ++x) hot = hot || usage.horiz(x, y) > capacity;
+        };
+        const auto probe_v = [&](std::size_t x, std::size_t ya, std::size_t yb) {
+            if (ya > yb) std::swap(ya, yb);
+            for (std::size_t y = ya; y < yb; ++y) hot = hot || usage.vert(x, y) > capacity;
+        };
+        if (hf) {
+            probe_h(c.y0, c.x0, c.x1);
+            probe_v(c.x1, c.y0, c.y1);
+        } else {
+            probe_v(c.x0, c.y0, c.y1);
+            probe_h(c.y1, c.x0, c.x1);
+        }
+        return hot;
+    };
+    const auto commit_path = [&](const std::vector<std::pair<std::size_t, std::size_t>>& path,
+                                 double delta) {
+        for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+            const auto [x0, y0] = path[s];
+            const auto [x1, y1] = path[s + 1];
+            if (y0 == y1) {
+                usage.horiz(std::min(x0, x1), y0) += delta;
+            } else {
+                usage.vert(x0, std::min(y0, y1)) += delta;
+            }
+        }
+    };
+    const auto maze_route = [&](const TwoPin& c) {
+        // Dijkstra over grid nodes with congestion-aware edge costs.
+        const std::size_t nn = n * n;
+        std::vector<double> dist(nn, std::numeric_limits<double>::max());
+        std::vector<std::uint32_t> prev(nn, static_cast<std::uint32_t>(nn));
+        using QE = std::pair<double, std::uint32_t>;
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+        const auto id = [&](std::size_t x, std::size_t y) {
+            return static_cast<std::uint32_t>(x + y * n);
+        };
+        const std::uint32_t src = id(c.x0, c.y0);
+        const std::uint32_t dst = id(c.x1, c.y1);
+        dist[src] = 0.0;
+        queue.push({0.0, src});
+        while (!queue.empty()) {
+            const auto [d, v] = queue.top();
+            queue.pop();
+            if (d > dist[v]) continue;
+            if (v == dst) break;
+            const std::size_t x = v % n;
+            const std::size_t y = v / n;
+            const auto relax = [&](std::size_t nx, std::size_t ny, double w) {
+                const std::uint32_t u = id(nx, ny);
+                if (d + w < dist[u]) {
+                    dist[u] = d + w;
+                    prev[u] = v;
+                    queue.push({dist[u], u});
+                }
+            };
+            if (x + 1 < n) relax(x + 1, y, edge_cost(usage.horiz(x, y)));
+            if (x > 0) relax(x - 1, y, edge_cost(usage.horiz(x - 1, y)));
+            if (y + 1 < n) relax(x, y + 1, edge_cost(usage.vert(x, y)));
+            if (y > 0) relax(x, y - 1, edge_cost(usage.vert(x, y - 1)));
+        }
+        std::vector<std::pair<std::size_t, std::size_t>> path;
+        for (std::uint32_t v = dst; v != static_cast<std::uint32_t>(nn); v = prev[v]) {
+            path.push_back({v % n, v / n});
+            if (v == src) break;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+    };
+
+    for (std::size_t pass = 0; pass < opts.maze_passes; ++pass) {
+        bool changed = false;
+        for (std::size_t i = 0; i < connections.size(); ++i) {
+            if (!maze_path[i].empty()) continue;  // already detoured
+            if (!l_touches_overflow(connections[i], horiz_first[i] != 0)) continue;
+            commit(connections[i], horiz_first[i] != 0, -1.0);
+            auto path = maze_route(connections[i]);
+            if (path.size() >= 2) {
+                commit_path(path, +1.0);
+                maze_path[i] = std::move(path);
+                ++res.mazed_connections;
+                changed = true;
+            } else {
+                commit(connections[i], horiz_first[i] != 0, +1.0);  // degenerate: keep L
+            }
+        }
+        if (!changed) break;
+    }
+
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+        if (!maze_path[i].empty()) {
+            // Detour length: one grid edge per path step.
+            for (std::size_t s = 0; s + 1 < maze_path[i].size(); ++s) {
+                res.total_wirelength += maze_path[i][s].second == maze_path[i][s + 1].second
+                                            ? grid.cell_w()
+                                            : grid.cell_h();
+            }
+            continue;
+        }
+        const TwoPin& c = connections[i];
+        const double dx = static_cast<double>(c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0);
+        const double dy = static_cast<double>(c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0);
+        res.total_wirelength += dx * grid.cell_w() + dy * grid.cell_h();
+    }
+
+    for (const double u : res.h_usage) {
+        res.max_congestion = std::max(res.max_congestion, u / capacity);
+        res.total_overflow += std::max(0.0, u - capacity);
+    }
+    for (const double u : res.v_usage) {
+        res.max_congestion = std::max(res.max_congestion, u / capacity);
+        res.total_overflow += std::max(0.0, u - capacity);
+    }
+    return res;
+}
+
+}  // namespace lily

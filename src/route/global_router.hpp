@@ -1,0 +1,46 @@
+// Congestion-aware grid global router — the repository's stand-in for the
+// TimberWolf global router + YACR channel router the paper's back end used.
+// Nets are decomposed into two-pin connections along their rectilinear MST;
+// each connection is routed with the less congested of its two L-shapes.
+// The router reports routed wirelength and congestion, which feed the chip
+// area model; applied identically to both mapping flows it preserves the
+// paper's comparisons.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "util/geometry.hpp"
+
+namespace lily {
+
+struct RouterOptions {
+    std::size_t grid = 32;            // grid cells per axis
+    double congestion_penalty = 4.0;  // cost multiplier past capacity
+    double capacity_per_edge = 0.0;   // 0 = derive from demand (avg + 60%)
+    /// Rip-up-and-reroute iterations after the initial pass: each pass
+    /// removes and re-routes every connection against the then-current
+    /// congestion map, letting early nets move off edges later nets filled.
+    std::size_t reroute_passes = 2;
+    /// After the L-shape passes, connections still crossing overflowed
+    /// edges are ripped up and maze-routed (Dijkstra over congestion
+    /// costs), allowing detours. 0 disables.
+    std::size_t maze_passes = 1;
+};
+
+struct RouteResult {
+    double total_wirelength = 0.0;  // in region length units
+    std::size_t mazed_connections = 0;  // connections that took a detour path
+    double max_congestion = 0.0;    // peak usage / capacity
+    double total_overflow = 0.0;    // sum of (usage - capacity)+ over edges
+    std::size_t grid = 0;
+    /// usage[d][x][y] flattened; d = 0 horizontal edges, 1 vertical edges.
+    std::vector<double> h_usage;
+    std::vector<double> v_usage;
+};
+
+RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                         const Rect& region, const RouterOptions& opts = {});
+
+}  // namespace lily

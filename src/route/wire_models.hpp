@@ -1,0 +1,33 @@
+// Net-length estimation models (Section 3.4 of the paper):
+//
+//  * SteinerHpwl — half perimeter of the enclosing rectangle multiplied by a
+//    pin-count-dependent factor after Chung & Hwang [3] ("ratio of minimum
+//    rectilinear Steiner tree length to half perimeter").
+//  * SpanningTree — exact rectilinear minimum spanning tree length (Prim),
+//    an upper bound on the Steiner length.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/geometry.hpp"
+
+namespace lily {
+
+enum class WireModel : std::uint8_t { SteinerHpwl, SpanningTree };
+
+/// Pin-count correction factor applied to the half perimeter. 1.0 for nets
+/// of up to 3 pins (where HPWL is exact for the Steiner length), growing
+/// slowly and saturating for large nets. Always in [1.0, 2.5].
+double chung_hwang_factor(std::size_t n_pins);
+
+/// HPWL x Chung-Hwang factor.
+double steiner_estimate(std::span<const Point> pins);
+
+/// Rectilinear minimum spanning tree length (Prim, O(n^2)).
+double rectilinear_mst_length(std::span<const Point> pins);
+
+/// Dispatch on the model.
+double net_wirelength(std::span<const Point> pins, WireModel model);
+
+}  // namespace lily

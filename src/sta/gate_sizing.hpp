@@ -1,0 +1,37 @@
+// Load-driven gate sizing: the practical counterpart of the load-value
+// preprocessing the paper points to in MIS2.2 ("record for each node all
+// possible load values"). After mapping and placement, every instance may
+// be swapped for a functionally identical library cell with a different
+// drive strength; the pass picks, per instance, the variant minimizing its
+// local stage delay under the measured load, and iterates to a fixpoint
+// (swaps change input capacitances and hence upstream loads).
+#pragma once
+
+#include <span>
+
+#include "map/mapped_netlist.hpp"
+#include "place/netlist_adapters.hpp"
+#include "sta/timing.hpp"
+
+namespace lily {
+
+struct SizingOptions {
+    TimingOptions timing;
+    std::size_t max_passes = 4;
+    /// Required relative stage-delay gain before a swap is accepted
+    /// (hysteresis against oscillation).
+    double min_gain = 1e-6;
+};
+
+struct SizingResult {
+    std::size_t swaps = 0;
+    double delay_before = 0.0;
+    double delay_after = 0.0;
+};
+
+/// Resize gates of `m` in place. `view`/`positions` must describe the
+/// placed netlist (pin counts never change, so positions stay valid).
+SizingResult size_gates(MappedNetlist& m, const Library& lib, const MappedPlacementView& view,
+                        std::span<const Point> positions, const SizingOptions& opts = {});
+
+}  // namespace lily

@@ -1,0 +1,177 @@
+#include "subject/cones.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lily {
+
+std::vector<Cone> logic_cones(const SubjectGraph& g) {
+    std::vector<Cone> cones;
+    std::vector<bool> seen_root(g.size(), false);
+    for (const SubjectOutput& po : g.outputs()) {
+        if (seen_root[po.driver]) continue;  // outputs sharing a driver share a cone
+        seen_root[po.driver] = true;
+        Cone cone;
+        cone.po_name = po.name;
+        cone.root = po.driver;
+        // Transitive fanin via DFS, then emit in id (= topological) order.
+        std::vector<bool> in_cone(g.size(), false);
+        std::vector<SubjectId> stack{po.driver};
+        in_cone[po.driver] = true;
+        while (!stack.empty()) {
+            const SubjectId v = stack.back();
+            stack.pop_back();
+            const SubjectNode& n = g.node(v);
+            for (unsigned k = 0; k < n.fanin_count(); ++k) {
+                const SubjectId f = n.fanin(k);
+                if (!in_cone[f]) {
+                    in_cone[f] = true;
+                    stack.push_back(f);
+                }
+            }
+        }
+        for (SubjectId v = 0; v < g.size(); ++v) {
+            if (in_cone[v]) cone.members.push_back(v);
+        }
+        cones.push_back(std::move(cone));
+    }
+    return cones;
+}
+
+std::vector<std::vector<unsigned>> exit_line_matrix(const SubjectGraph& g,
+                                                    const std::vector<Cone>& cones) {
+    const std::size_t nc = cones.size();
+    // Cone membership as per-node bitsets over cones (nc is small: one per PO).
+    const std::size_t words = (nc + 63) / 64;
+    std::vector<std::uint64_t> member(g.size() * words, 0);
+    const auto set_member = [&](SubjectId v, std::size_t cone) {
+        member[v * words + cone / 64] |= std::uint64_t{1} << (cone % 64);
+    };
+    const auto is_member = [&](SubjectId v, std::size_t cone) {
+        return (member[v * words + cone / 64] >> (cone % 64)) & 1;
+    };
+    for (std::size_t i = 0; i < nc; ++i) {
+        for (SubjectId v : cones[i].members) set_member(v, i);
+    }
+
+    std::vector<std::vector<unsigned>> m(nc, std::vector<unsigned>(nc, 0));
+    for (SubjectId u = 0; u < g.size(); ++u) {
+        for (SubjectId v : g.node(u).fanouts) {
+            for (std::size_t i = 0; i < nc; ++i) {
+                if (!is_member(u, i) || is_member(v, i)) continue;  // not an exit line of i
+                for (std::size_t j = 0; j < nc; ++j) {
+                    if (j != i && is_member(v, j)) ++m[i][j];
+                }
+            }
+        }
+    }
+    return m;
+}
+
+namespace {
+
+std::vector<std::size_t> greedy_min_row_sum(const std::vector<std::vector<unsigned>>& m) {
+    const std::size_t nc = m.size();
+    std::vector<bool> done(nc, false);
+    std::vector<std::size_t> order;
+    order.reserve(nc);
+    for (std::size_t step = 0; step < nc; ++step) {
+        std::size_t best = nc;
+        std::uint64_t best_sum = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t i = 0; i < nc; ++i) {
+            if (done[i]) continue;
+            std::uint64_t sum = 0;
+            for (std::size_t j = 0; j < nc; ++j) {
+                if (!done[j]) sum += m[i][j];
+            }
+            if (sum < best_sum) {
+                best_sum = sum;
+                best = i;
+            }
+        }
+        done[best] = true;
+        order.push_back(best);
+    }
+    return order;
+}
+
+/// Adjacent-swap hill climbing: swapping neighbours a,b changes the cost by
+/// E[b][a] - E[a][b], so swap while E[a][b] > E[b][a]. Each swap strictly
+/// lowers the (integer) cost, so this terminates.
+void improve_by_adjacent_swaps(const std::vector<std::vector<unsigned>>& m,
+                               std::vector<std::size_t>& order) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            const std::size_t a = order[k];
+            const std::size_t b = order[k + 1];
+            if (m[a][b] > m[b][a]) {
+                std::swap(order[k], order[k + 1]);
+                changed = true;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::size_t> order_cones(const SubjectGraph& g, const std::vector<Cone>& cones) {
+    // The paper's greedy min-row-sum pass is a heuristic (its optimality
+    // claim does not hold in general); we additionally compare against the
+    // identity ordering and polish with adjacent swaps, so the result is
+    // never worse than processing cones in declaration order.
+    const auto m = exit_line_matrix(g, cones);
+    std::vector<std::size_t> greedy = greedy_min_row_sum(m);
+    std::vector<std::size_t> identity(cones.size());
+    for (std::size_t i = 0; i < cones.size(); ++i) identity[i] = i;
+    std::vector<std::size_t> order =
+        ordering_cost(m, greedy) <= ordering_cost(m, identity) ? std::move(greedy)
+                                                               : std::move(identity);
+    improve_by_adjacent_swaps(m, order);
+    return order;
+}
+
+std::size_t ordering_cost(const std::vector<std::vector<unsigned>>& matrix,
+                          const std::vector<std::size_t>& order) {
+    std::size_t cost = 0;
+    for (std::size_t a = 0; a < order.size(); ++a) {
+        for (std::size_t b = a + 1; b < order.size(); ++b) {
+            cost += matrix[order[a]][order[b]];
+        }
+    }
+    return cost;
+}
+
+TreePartition partition_trees(const SubjectGraph& g) {
+    TreePartition part;
+    part.tree_of.assign(g.size(), TreePartition::npos);
+
+    const auto is_root = [&](SubjectId v) {
+        const SubjectNode& n = g.node(v);
+        if (n.kind == SubjectKind::Input) return false;
+        return g.drives_output(v) || n.fanouts.size() != 1;
+    };
+
+    // Assign each gate node to the tree of its unique fanout chain root.
+    // Process in reverse topological order so the root is known first.
+    std::vector<std::size_t> root_tree(g.size(), TreePartition::npos);
+    for (SubjectId v = static_cast<SubjectId>(g.size()); v-- > 0;) {
+        const SubjectNode& n = g.node(v);
+        if (n.kind == SubjectKind::Input) continue;
+        if (is_root(v)) {
+            root_tree[v] = part.trees.size();
+            part.trees.emplace_back();
+            part.tree_of[v] = root_tree[v];
+        } else {
+            part.tree_of[v] = part.tree_of[n.fanouts[0]];
+        }
+    }
+    // Collect members in topological (id) order, root last within each tree.
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        if (part.tree_of[v] != TreePartition::npos) part.trees[part.tree_of[v]].push_back(v);
+    }
+    return part;
+}
+
+}  // namespace lily

@@ -1,0 +1,59 @@
+// Logic cones, maximal-tree partitioning, and the paper's cone-ordering
+// heuristic (Section 3.5).
+//
+// MIS-style mapping processes one logic cone (a primary output plus its
+// transitive fanin) at a time, allowing covers to cross tree boundaries by
+// duplicating logic. DAGON-style mapping instead partitions the subject
+// graph into maximal fanout-free trees and maps each optimally.
+//
+// The cone ordering minimizes references from mapped cones into not-yet-
+// mapped logic: build the exit-line matrix E where E[i][j] counts lines
+// leaving cone i into cone j, then repeatedly emit the cone with minimum
+// remaining row sum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "subject/subject_graph.hpp"
+
+namespace lily {
+
+/// One logic cone K_i: a primary output driver and its transitive fanin.
+struct Cone {
+    std::string po_name;
+    SubjectId root = kNullSubject;
+    std::vector<SubjectId> members;  // topological order, includes root
+};
+
+/// One cone per primary output (outputs sharing a driver share one cone).
+std::vector<Cone> logic_cones(const SubjectGraph& g);
+
+/// E[i][j] = number of lines from a node of cone i to a node of cone j that
+/// is outside cone i ("exit lines", Section 3.5). Diagonal is zero.
+std::vector<std::vector<unsigned>> exit_line_matrix(const SubjectGraph& g,
+                                                    const std::vector<Cone>& cones);
+
+/// Greedy min-row-sum ordering of the cones (the paper's procedure).
+/// Returns a permutation of cone indices.
+std::vector<std::size_t> order_cones(const SubjectGraph& g, const std::vector<Cone>& cones);
+
+/// Total forward references of an ordering: sum over consecutive prefixes of
+/// exit lines from processed cones into unprocessed ones (the objective the
+/// greedy ordering minimizes). Used to compare orderings.
+std::size_t ordering_cost(const std::vector<std::vector<unsigned>>& matrix,
+                          const std::vector<std::size_t>& order);
+
+/// Maximal-tree partition (DAGON). A node roots a tree iff it drives a
+/// primary output, has multiple fanouts, or has none. Every tree lists its
+/// member nodes in topological order (root last); leaves of the tree are
+/// fanins that belong to other trees or are graph inputs.
+struct TreePartition {
+    std::vector<std::vector<SubjectId>> trees;
+    std::vector<std::size_t> tree_of;  // node id -> tree index (inputs: npos)
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+TreePartition partition_trees(const SubjectGraph& g);
+
+}  // namespace lily

@@ -1,0 +1,153 @@
+#include "subject/decompose.hpp"
+
+#include <bit>
+#include <deque>
+#include <stdexcept>
+
+namespace lily {
+
+namespace {
+
+/// A partially built signal: its subject node plus a representative
+/// position for proximity-driven pairing.
+struct Operand {
+    SubjectId id;
+    Point pos;
+};
+
+class TreeBuilder {
+public:
+    TreeBuilder(SubjectGraph& g, TreeShape shape) : g_(g), shape_(shape) {}
+
+    /// AND of the operands, as INV(NAND tree). Single operand passes through.
+    Operand build_and(std::vector<Operand> ops) {
+        return combine(std::move(ops), [this](const Operand& a, const Operand& b) {
+            return Operand{g_.add_inv(g_.add_nand(a.id, b.id)), midpoint(a, b)};
+        });
+    }
+
+    /// OR of the operands via De Morgan: OR(a,b) = NAND(!a, !b).
+    Operand build_or(std::vector<Operand> ops) {
+        return combine(std::move(ops), [this](const Operand& a, const Operand& b) {
+            return Operand{g_.add_nand(g_.add_inv(a.id), g_.add_inv(b.id)), midpoint(a, b)};
+        });
+    }
+
+private:
+    static Point midpoint(const Operand& a, const Operand& b) {
+        return {(a.pos.x + b.pos.x) / 2.0, (a.pos.y + b.pos.y) / 2.0};
+    }
+
+    template <typename Join>
+    Operand combine(std::vector<Operand> ops, Join&& join) {
+        if (ops.empty()) throw std::logic_error("TreeBuilder: empty operand list");
+        switch (shape_) {
+            case TreeShape::LeftDeep: {
+                Operand acc = ops[0];
+                for (std::size_t i = 1; i < ops.size(); ++i) acc = join(acc, ops[i]);
+                return acc;
+            }
+            case TreeShape::Proximity:
+                // Greedy nearest-pair agglomeration keeps spatially close
+                // signals topologically close. Quadratic search is fine for
+                // node fanins; very wide lists degrade to Balanced.
+                if (ops.size() <= 64) {
+                    std::vector<Operand> work = std::move(ops);
+                    while (work.size() > 1) {
+                        std::size_t bi = 0, bj = 1;
+                        double best = std::numeric_limits<double>::max();
+                        for (std::size_t i = 0; i < work.size(); ++i) {
+                            for (std::size_t j = i + 1; j < work.size(); ++j) {
+                                const double d = manhattan(work[i].pos, work[j].pos);
+                                if (d < best) {
+                                    best = d;
+                                    bi = i;
+                                    bj = j;
+                                }
+                            }
+                        }
+                        Operand merged = join(work[bi], work[bj]);
+                        work.erase(work.begin() + static_cast<std::ptrdiff_t>(bj));
+                        work[bi] = merged;
+                    }
+                    return work[0];
+                }
+                [[fallthrough]];
+            case TreeShape::Balanced: {
+                // Queue pairing: level-by-level combination, minimum depth.
+                std::deque<Operand> q(ops.begin(), ops.end());
+                while (q.size() > 1) {
+                    const Operand a = q.front();
+                    q.pop_front();
+                    const Operand b = q.front();
+                    q.pop_front();
+                    q.push_back(join(a, b));
+                }
+                return q.front();
+            }
+        }
+        throw std::logic_error("TreeBuilder: unreachable");
+    }
+
+    SubjectGraph& g_;
+    TreeShape shape_;
+};
+
+}  // namespace
+
+DecomposeResult decompose(const Network& net, const DecomposeOptions& opts) {
+    DecomposeResult out{SubjectGraph(net.name(), opts.cancel_inverter_pairs),
+                        std::vector<SubjectId>(net.node_count(), kNullSubject)};
+    SubjectGraph& g = out.graph;
+    const TreeShape shape =
+        (opts.shape == TreeShape::Proximity && opts.source_positions.empty())
+            ? TreeShape::Balanced
+            : opts.shape;
+    TreeBuilder builder(g, shape);
+
+    const auto pos_of = [&](NodeId id) -> Point {
+        if (id < opts.source_positions.size()) return opts.source_positions[id];
+        return {static_cast<double>(id), 0.0};  // deterministic fallback
+    };
+
+    for (NodeId id = 0; id < net.node_count(); ++id) {
+        const Node& n = net.node(id);
+        if (n.kind == NodeKind::PrimaryInput) {
+            out.signal_of[id] = g.add_input(n.name, id);
+            continue;
+        }
+        if (n.function.is_constant()) {
+            throw std::invalid_argument("decompose: node '" + n.name +
+                                        "' is constant; propagate constants first");
+        }
+
+        // Each cube: AND of literals. Literal = fanin signal or its INV.
+        std::vector<Operand> cube_ops;
+        cube_ops.reserve(n.function.cubes.size());
+        for (const Cube& c : n.function.cubes) {
+            std::vector<Operand> lits;
+            std::uint64_t care = c.care;
+            while (care != 0) {
+                const unsigned i = static_cast<unsigned>(std::countr_zero(care));
+                care &= care - 1;
+                const NodeId fan = n.fanins[i];
+                SubjectId sig = out.signal_of[fan];
+                if (!((c.polarity >> i) & 1)) sig = g.add_inv(sig);
+                lits.push_back({sig, pos_of(fan)});
+            }
+            cube_ops.push_back(builder.build_and(std::move(lits)));
+        }
+        Operand root = builder.build_or(std::move(cube_ops));
+        if (n.function.complement) root = {g.add_inv(root.id), root.pos};
+        out.signal_of[id] = root.id;
+        if (g.node(root.id).origin == kNullNode) g.set_origin(root.id, id);
+    }
+
+    for (const PrimaryOutput& po : net.outputs()) {
+        g.add_output(po.name, out.signal_of[po.driver]);
+    }
+    g.check();
+    return out;
+}
+
+}  // namespace lily

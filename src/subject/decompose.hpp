@@ -1,0 +1,47 @@
+// Decomposition of an optimized Boolean network into the NAND2/INV subject
+// graph. Each node's SOP becomes an AND/OR tree over its fanin literals;
+// the tree shape is selectable:
+//
+//  * Balanced  — minimum-depth trees (the conventional choice),
+//  * LeftDeep  — worst-case skewed chains (a stress baseline),
+//  * Proximity — the paper's layout-oriented decomposition (Figure 1.1b):
+//    leaves whose source nodes sit near one another in a companion
+//    placement are paired first, so spatially close signals enter the
+//    decomposition tree at topologically close points.
+#pragma once
+
+#include <vector>
+
+#include "subject/subject_graph.hpp"
+#include "util/geometry.hpp"
+
+namespace lily {
+
+enum class TreeShape : std::uint8_t { Balanced, LeftDeep, Proximity };
+
+struct DecomposeOptions {
+    TreeShape shape = TreeShape::Balanced;
+    /// Fold INV(INV(x)) during construction. Default false: the paper-era
+    /// MIS subject graphs kept inverter pairs, and the evaluation in
+    /// bench/ tables reproduces the paper on that construction. Turning it
+    /// on shrinks both flows' results substantially (see
+    /// bench/ablation_subject_cleanup) while narrowing the relative gap.
+    bool cancel_inverter_pairs = false;
+    /// For TreeShape::Proximity: position of every source-network node
+    /// (indexed by NodeId), e.g. from a global placement of a previous
+    /// subject graph. Empty falls back to Balanced.
+    std::vector<Point> source_positions;
+};
+
+struct DecomposeResult {
+    SubjectGraph graph;
+    /// Subject node computing each source node's (positive) signal,
+    /// indexed by source NodeId.
+    std::vector<SubjectId> signal_of;
+};
+
+/// Build the subject graph. Throws std::invalid_argument on constant nodes
+/// (run constant propagation first) or nodes with more than 64 fanins.
+DecomposeResult decompose(const Network& net, const DecomposeOptions& opts = {});
+
+}  // namespace lily

@@ -1,0 +1,132 @@
+#include "subject/subject_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lily {
+
+SubjectId SubjectGraph::allocate(SubjectNode n) {
+    const SubjectId id = static_cast<SubjectId>(nodes_.size());
+    if (n.name.empty()) n.name = "s" + std::to_string(id);
+    nodes_.push_back(std::move(n));
+    po_driver_.push_back(false);
+    return id;
+}
+
+SubjectId SubjectGraph::add_input(std::string input_name, NodeId origin) {
+    SubjectNode n;
+    n.kind = SubjectKind::Input;
+    n.name = std::move(input_name);
+    n.origin = origin;
+    const SubjectId id = allocate(std::move(n));
+    inputs_.push_back(id);
+    return id;
+}
+
+SubjectId SubjectGraph::add_inv(SubjectId a) {
+    if (a >= nodes_.size()) throw std::invalid_argument("SubjectGraph: bad fanin");
+    // Optional: double inverters cancel structurally, INV(INV(x)) == x.
+    if (cancel_inv_ && nodes_[a].kind == SubjectKind::Inv) return nodes_[a].fanin0;
+    const Key key{SubjectKind::Inv, a, kNullSubject};
+    if (const auto it = strash_.find(key); it != strash_.end()) return it->second;
+    SubjectNode n;
+    n.kind = SubjectKind::Inv;
+    n.fanin0 = a;
+    const SubjectId id = allocate(std::move(n));
+    nodes_[a].fanouts.push_back(id);
+    strash_.emplace(key, id);
+    return id;
+}
+
+SubjectId SubjectGraph::add_nand(SubjectId a, SubjectId b) {
+    if (a >= nodes_.size() || b >= nodes_.size()) {
+        throw std::invalid_argument("SubjectGraph: bad fanin");
+    }
+    if (b < a) std::swap(a, b);  // normalize for hashing (NAND is symmetric)
+    const Key key{SubjectKind::Nand2, a, b};
+    if (const auto it = strash_.find(key); it != strash_.end()) return it->second;
+    SubjectNode n;
+    n.kind = SubjectKind::Nand2;
+    n.fanin0 = a;
+    n.fanin1 = b;
+    const SubjectId id = allocate(std::move(n));
+    nodes_[a].fanouts.push_back(id);
+    if (b != a) {
+        nodes_[b].fanouts.push_back(id);
+    } else {
+        nodes_[a].fanouts.push_back(id);  // NAND(a,a): two parallel lines
+    }
+    strash_.emplace(key, id);
+    return id;
+}
+
+void SubjectGraph::add_output(std::string po_name, SubjectId driver) {
+    if (driver >= nodes_.size()) throw std::invalid_argument("SubjectGraph: bad PO driver");
+    outputs_.push_back({std::move(po_name), driver});
+    po_driver_[driver] = true;
+}
+
+void SubjectGraph::set_origin(SubjectId s, NodeId origin) { nodes_[s].origin = origin; }
+
+std::size_t SubjectGraph::gate_count() const {
+    return static_cast<std::size_t>(std::count_if(
+        nodes_.begin(), nodes_.end(),
+        [](const SubjectNode& n) { return n.kind != SubjectKind::Input; }));
+}
+
+std::size_t SubjectGraph::depth() const {
+    std::vector<std::size_t> level(nodes_.size(), 0);
+    std::size_t deepest = 0;
+    for (SubjectId i = 0; i < nodes_.size(); ++i) {
+        const SubjectNode& n = nodes_[i];
+        if (n.kind == SubjectKind::Input) continue;
+        std::size_t lv = level[n.fanin0];
+        if (n.kind == SubjectKind::Nand2) lv = std::max(lv, level[n.fanin1]);
+        level[i] = lv + 1;
+        deepest = std::max(deepest, level[i]);
+    }
+    return deepest;
+}
+
+Network SubjectGraph::to_network() const {
+    Network net(name_ + "_subject");
+    std::vector<NodeId> map(nodes_.size(), kNullNode);
+    for (SubjectId i = 0; i < nodes_.size(); ++i) {
+        const SubjectNode& n = nodes_[i];
+        switch (n.kind) {
+            case SubjectKind::Input:
+                map[i] = net.add_input(n.name);
+                break;
+            case SubjectKind::Inv:
+                map[i] = net.add_node(n.name, {map[n.fanin0]}, Sop::inverter());
+                break;
+            case SubjectKind::Nand2:
+                map[i] = net.add_node(n.name, {map[n.fanin0], map[n.fanin1]}, Sop::nand_n(2));
+                break;
+        }
+    }
+    for (const SubjectOutput& po : outputs_) net.add_output(po.name, map[po.driver]);
+    return net;
+}
+
+void SubjectGraph::check() const {
+    for (SubjectId i = 0; i < nodes_.size(); ++i) {
+        const SubjectNode& n = nodes_[i];
+        for (unsigned k = 0; k < n.fanin_count(); ++k) {
+            const SubjectId f = n.fanin(k);
+            if (f >= i) throw std::logic_error("SubjectGraph::check: fanin order violated");
+            const auto& fo = nodes_[f].fanouts;
+            if (std::find(fo.begin(), fo.end(), i) == fo.end()) {
+                throw std::logic_error("SubjectGraph::check: missing fanout edge");
+            }
+        }
+        if (n.kind == SubjectKind::Input && n.fanin0 != kNullSubject) {
+            throw std::logic_error("SubjectGraph::check: input with fanin");
+        }
+    }
+    for (const SubjectOutput& po : outputs_) {
+        if (po.driver >= nodes_.size()) throw std::logic_error("SubjectGraph::check: bad PO");
+    }
+}
+
+}  // namespace lily

@@ -1,0 +1,111 @@
+// The subject graph: the Boolean network re-expressed in base functions
+// (2-input NAND and inverter), the "inchoate network" N_inchoate of the
+// paper. Technology mapping covers this graph with library pattern graphs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace lily {
+
+using SubjectId = std::uint32_t;
+inline constexpr SubjectId kNullSubject = std::numeric_limits<SubjectId>::max();
+
+enum class SubjectKind : std::uint8_t { Input, Inv, Nand2 };
+
+struct SubjectNode {
+    SubjectKind kind = SubjectKind::Input;
+    SubjectId fanin0 = kNullSubject;
+    SubjectId fanin1 = kNullSubject;  // Nand2 only
+    std::vector<SubjectId> fanouts;
+    /// Source-network node this subject node realizes (its root signal), or
+    /// kNullNode for internal decomposition nodes.
+    NodeId origin = kNullNode;
+    std::string name;
+
+    unsigned fanin_count() const {
+        return kind == SubjectKind::Input ? 0 : (kind == SubjectKind::Inv ? 1 : 2);
+    }
+    SubjectId fanin(unsigned i) const { return i == 0 ? fanin0 : fanin1; }
+};
+
+struct SubjectOutput {
+    std::string name;
+    SubjectId driver = kNullSubject;
+};
+
+/// A combinational NAND2/INV DAG with structural hashing. Node ids are
+/// topologically ordered by construction.
+class SubjectGraph {
+public:
+    /// `cancel_inverter_pairs` folds INV(INV(x)) to x at construction time.
+    /// Off by default: the paper-era (MIS-style) subject graphs retained
+    /// inverter pairs, and the mappers' relative behaviour depends on it —
+    /// see bench/ablation_subject_cleanup for the comparison.
+    explicit SubjectGraph(std::string name = "subject", bool cancel_inverter_pairs = false)
+        : name_(std::move(name)), cancel_inv_(cancel_inverter_pairs) {}
+
+    const std::string& name() const { return name_; }
+
+    SubjectId add_input(std::string input_name, NodeId origin);
+    /// Structurally hashed: returns an existing node when one computes the
+    /// same INV/NAND of the same fanins (NAND fanin order normalized); with
+    /// cancel_inverter_pairs, add_inv of an Inv node returns its fanin.
+    SubjectId add_inv(SubjectId a);
+    SubjectId add_nand(SubjectId a, SubjectId b);
+    void add_output(std::string po_name, SubjectId driver);
+
+    /// Record that subject node `s` realizes source node `origin`.
+    void set_origin(SubjectId s, NodeId origin);
+
+    std::size_t size() const { return nodes_.size(); }
+    const SubjectNode& node(SubjectId id) const { return nodes_[id]; }
+    std::span<const SubjectId> inputs() const { return inputs_; }
+    std::span<const SubjectOutput> outputs() const { return outputs_; }
+
+    std::size_t gate_count() const;  // Inv + Nand2 nodes
+    std::size_t depth() const;
+    bool is_multi_fanout(SubjectId id) const { return nodes_[id].fanouts.size() > 1; }
+    bool drives_output(SubjectId id) const { return po_driver_[id]; }
+
+    /// Convert back into a Network of NAND2/INV nodes (for equivalence
+    /// checking against the source network).
+    Network to_network() const;
+
+    /// Structural invariants; throws std::logic_error on violation.
+    void check() const;
+
+private:
+    SubjectId allocate(SubjectNode n);
+
+    std::string name_;
+    bool cancel_inv_ = false;
+    std::vector<SubjectNode> nodes_;
+    std::vector<SubjectId> inputs_;
+    std::vector<SubjectOutput> outputs_;
+    std::vector<bool> po_driver_;
+    // Structural hash: key packs (kind, fanin0, fanin1).
+    struct Key {
+        SubjectKind kind;
+        SubjectId a;
+        SubjectId b;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            std::size_t h = static_cast<std::size_t>(k.kind);
+            h = h * 1000003u + k.a;
+            h = h * 1000003u + k.b;
+            return h;
+        }
+    };
+    std::unordered_map<Key, SubjectId, KeyHash> strash_;
+};
+
+}  // namespace lily

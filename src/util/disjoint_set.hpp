@@ -1,0 +1,44 @@
+// Union-find with path compression and union by size. Used by the
+// rectilinear-spanning-tree wire model and by netlist connectivity checks.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace lily {
+
+class DisjointSet {
+public:
+    explicit DisjointSet(std::size_t n) : parent_(n), size_(n, 1) {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+
+    std::size_t find(std::size_t v) {
+        while (parent_[v] != v) {
+            parent_[v] = parent_[parent_[v]];  // halving
+            v = parent_[v];
+        }
+        return v;
+    }
+
+    /// Merge the sets of a and b; returns false if already joined.
+    bool unite(std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return false;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+        return true;
+    }
+
+    bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+    std::size_t set_size(std::size_t v) { return size_[find(v)]; }
+
+private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+};
+
+}  // namespace lily

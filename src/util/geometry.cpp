@@ -1,0 +1,73 @@
+#include "util/geometry.hpp"
+
+namespace lily {
+
+Rect bounding_box(std::span<const Point> pts) {
+    Rect r;
+    for (const Point& p : pts) r.expand(p);
+    return r;
+}
+
+double half_perimeter_wirelength(std::span<const Point> pts) {
+    return bounding_box(pts).half_perimeter();
+}
+
+double manhattan_to_rect(const Point& p, const Rect& r) {
+    if (r.empty()) return 0.0;
+    const double dx = std::max({r.ll.x - p.x, 0.0, p.x - r.ur.x});
+    const double dy = std::max({r.ll.y - p.y, 0.0, p.y - r.ur.y});
+    return dx + dy;
+}
+
+Point center_of_mass(std::span<const Point> pts) {
+    if (pts.empty()) return {};
+    Point sum;
+    for (const Point& p : pts) sum += p;
+    return sum / static_cast<double>(pts.size());
+}
+
+Point center_of_mass(std::span<const Point> pts, std::span<const double> weights) {
+    if (pts.empty()) return {};
+    double total = 0.0;
+    Point sum;
+    for (std::size_t i = 0; i < pts.size() && i < weights.size(); ++i) {
+        sum += pts[i] * weights[i];
+        total += weights[i];
+    }
+    if (total <= 0.0) return center_of_mass(pts);
+    return sum / total;
+}
+
+double median_coordinate(std::vector<double> xs) {
+    if (xs.empty()) return 0.0;
+    const std::size_t n = xs.size();
+    const std::size_t mid = (n - 1) / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+    const double lo = xs[mid];
+    if (n % 2 == 1) return lo;
+    // Midpoint of the two central order statistics.
+    const double hi = *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(mid) + 1, xs.end());
+    return (lo + hi) / 2.0;
+}
+
+Point manhattan_median_of_rects(std::span<const Rect> rects) {
+    // Per Section 3.2: the x-distance of p to rectangle r is
+    //   (|ll.x - p.x| + |ur.x - p.x| - |ur.x - ll.x|) / 2,
+    // so minimizing the sum over rectangles reduces (up to constants) to the
+    // median of the multiset of left and right corner coordinates; likewise
+    // for y with bottom and top coordinates.
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(rects.size() * 2);
+    ys.reserve(rects.size() * 2);
+    for (const Rect& r : rects) {
+        if (r.empty()) continue;
+        xs.push_back(r.ll.x);
+        xs.push_back(r.ur.x);
+        ys.push_back(r.ll.y);
+        ys.push_back(r.ur.y);
+    }
+    return {median_coordinate(std::move(xs)), median_coordinate(std::move(ys))};
+}
+
+}  // namespace lily

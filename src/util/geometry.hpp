@@ -1,0 +1,119 @@
+// Planar geometry primitives used by placement, routing estimation and the
+// layout-driven mapper: points, rectangles and the distance queries the
+// paper's cost functions are built from (Manhattan / Euclidean norms,
+// point-to-rectangle distances, enclosing rectangles, medians).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace lily {
+
+/// A point in the (continuous) placement plane.
+struct Point {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Point() = default;
+    constexpr Point(double px, double py) : x(px), y(py) {}
+
+    constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+    constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+    constexpr Point operator*(double s) const { return {x * s, y * s}; }
+    constexpr Point operator/(double s) const { return {x / s, y / s}; }
+    Point& operator+=(const Point& o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr bool operator==(const Point& o) const = default;
+};
+
+/// Manhattan (rectilinear) distance — the routing metric.
+inline double manhattan(const Point& a, const Point& b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance — used by the quadratic placement objective.
+inline double euclidean(const Point& a, const Point& b) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (the actual quadratic-placement summand).
+inline double euclidean_sq(const Point& a, const Point& b) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+/// An axis-aligned rectangle, kept as lower-left (ll) / upper-right (ur)
+/// corners. An empty rectangle has ll > ur and absorbs nothing.
+struct Rect {
+    Point ll{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+    Point ur{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+
+    constexpr Rect() = default;
+    constexpr Rect(Point lower_left, Point upper_right) : ll(lower_left), ur(upper_right) {}
+
+    bool empty() const { return ll.x > ur.x || ll.y > ur.y; }
+    double width() const { return empty() ? 0.0 : ur.x - ll.x; }
+    double height() const { return empty() ? 0.0 : ur.y - ll.y; }
+    double half_perimeter() const { return width() + height(); }
+    double area() const { return width() * height(); }
+    Point center() const { return {(ll.x + ur.x) / 2.0, (ll.y + ur.y) / 2.0}; }
+
+    /// Grow to include a point.
+    void expand(const Point& p) {
+        ll.x = std::min(ll.x, p.x);
+        ll.y = std::min(ll.y, p.y);
+        ur.x = std::max(ur.x, p.x);
+        ur.y = std::max(ur.y, p.y);
+    }
+
+    /// Grow to include another rectangle.
+    void expand(const Rect& r) {
+        if (r.empty()) return;
+        expand(r.ll);
+        expand(r.ur);
+    }
+
+    bool contains(const Point& p) const {
+        return !empty() && p.x >= ll.x && p.x <= ur.x && p.y >= ll.y && p.y <= ur.y;
+    }
+};
+
+/// Smallest rectangle enclosing a set of points.
+Rect bounding_box(std::span<const Point> pts);
+
+/// Half perimeter of the bounding box of a set of points (HPWL of one net).
+double half_perimeter_wirelength(std::span<const Point> pts);
+
+/// Manhattan distance from a point to a rectangle (0 if inside). This is the
+/// separable distance function f(x)+f(y) of Section 3.2 of the paper.
+double manhattan_to_rect(const Point& p, const Rect& r);
+
+/// Center of mass of a set of points (unweighted). Empty input -> origin.
+Point center_of_mass(std::span<const Point> pts);
+
+/// Weighted center of mass. Weights must be non-negative; if they sum to
+/// zero, falls back to the unweighted center of mass.
+Point center_of_mass(std::span<const Point> pts, std::span<const double> weights);
+
+/// The 1-D median of a list of coordinates: the minimizer of sum |x - xi|.
+/// For an even count any point between the two middle values is optimal; we
+/// return their midpoint. Empty input -> 0.
+double median_coordinate(std::vector<double> xs);
+
+/// Minimizer of the sum of Manhattan distances to a set of rectangles
+/// (the CM-of-Fans placement update, Manhattan norm, Section 3.2). The
+/// problem separates per axis into a weighted-median over rectangle corner
+/// coordinates.
+Point manhattan_median_of_rects(std::span<const Rect> rects);
+
+}  // namespace lily

@@ -1,0 +1,123 @@
+#include "util/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lily {
+
+void SparseMatrix::Builder::add(std::size_t i, std::size_t j, double v) {
+    assert(i < n_ && j < n_);
+    triplets_.push_back({i, j, v});
+}
+
+void SparseMatrix::Builder::add_spring(std::size_t i, std::size_t j, double v) {
+    add(i, i, v);
+    add(j, j, v);
+    add(i, j, -v);
+    add(j, i, -v);
+}
+
+SparseMatrix SparseMatrix::Builder::build() && {
+    std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+
+    SparseMatrix m;
+    m.n_ = n_;
+    m.row_start_.assign(n_ + 1, 0);
+    m.diag_.assign(n_, 0.0);
+    // Merge duplicates while copying into CSR form.
+    for (std::size_t k = 0; k < triplets_.size();) {
+        const std::size_t row = triplets_[k].row;
+        const std::size_t col = triplets_[k].col;
+        double sum = 0.0;
+        while (k < triplets_.size() && triplets_[k].row == row && triplets_[k].col == col) {
+            sum += triplets_[k].value;
+            ++k;
+        }
+        m.col_.push_back(col);
+        m.val_.push_back(sum);
+        ++m.row_start_[row + 1];
+        if (row == col) m.diag_[row] = sum;
+    }
+    for (std::size_t r = 0; r < n_; ++r) m.row_start_[r + 1] += m.row_start_[r];
+    return m;
+}
+
+void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+    assert(x.size() == n_ && y.size() == n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+            acc += val_[k] * x[col_[k]];
+        }
+        y[r] = acc;
+    }
+}
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tol, std::size_t max_iters) {
+    const std::size_t n = a.size();
+    assert(b.size() == n && x.size() == n);
+
+    std::vector<double> r(n), z(n), p(n), ap(n);
+    a.multiply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+    const double b_norm = std::sqrt(dot(b, b));
+    const double stop = tol * std::max(1.0, b_norm);
+
+    auto precondition = [&](std::span<const double> in, std::span<double> out) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = a.diagonal(i);
+            out[i] = d > 0.0 ? in[i] / d : in[i];
+        }
+    };
+
+    precondition(r, z);
+    p.assign(z.begin(), z.end());
+    double rz = dot(r, z);
+
+    CgResult result;
+    result.residual_norm = std::sqrt(dot(r, r));
+    if (result.residual_norm <= stop) {
+        result.converged = true;
+        return result;
+    }
+
+    for (std::size_t it = 0; it < max_iters; ++it) {
+        a.multiply(p, ap);
+        const double p_ap = dot(p, ap);
+        if (p_ap <= 0.0) break;  // matrix not SPD along p; bail out
+        const double alpha = rz / p_ap;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        result.iterations = it + 1;
+        result.residual_norm = std::sqrt(dot(r, r));
+        if (result.residual_norm <= stop) {
+            result.converged = true;
+            return result;
+        }
+        precondition(r, z);
+        const double rz_next = dot(r, z);
+        const double beta = rz_next / rz;
+        rz = rz_next;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    return result;
+}
+
+}  // namespace lily

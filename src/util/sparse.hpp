@@ -1,0 +1,79 @@
+// Sparse symmetric positive-definite linear algebra for quadratic placement.
+// GORDIAN-style global placement minimizes sum_e w_e (x_i - x_j)^2 with some
+// nodes (pads) fixed, which reduces to solving A x = b where A is the
+// weighted graph Laplacian restricted to movable nodes. A is symmetric
+// positive definite whenever every connected component touches a fixed node,
+// so a (Jacobi-preconditioned) conjugate gradient solver is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lily {
+
+/// Row-compressed symmetric sparse matrix built from coordinate triplets.
+/// Both (i,j) and (j,i) entries must be added by the builder; duplicates are
+/// summed. Only the pattern actually added is stored.
+class SparseMatrix {
+public:
+    /// Incremental builder: accumulate coordinate entries, then freeze.
+    class Builder {
+    public:
+        explicit Builder(std::size_t n) : n_(n) {}
+
+        /// Add v to entry (i, j).
+        void add(std::size_t i, std::size_t j, double v);
+
+        /// Add v to (i,i), (j,j) and -v to (i,j), (j,i): one spring of
+        /// weight v between nodes i and j (the Laplacian stamp).
+        void add_spring(std::size_t i, std::size_t j, double v);
+
+        /// Add v to the diagonal entry (i,i): a spring to a fixed location.
+        void add_anchor(std::size_t i, double v) { add(i, i, v); }
+
+        SparseMatrix build() &&;
+
+    private:
+        friend class SparseMatrix;
+        struct Triplet {
+            std::size_t row;
+            std::size_t col;
+            double value;
+        };
+        std::size_t n_;
+        std::vector<Triplet> triplets_;
+    };
+
+    std::size_t size() const { return n_; }
+
+    /// y = A x.
+    void multiply(std::span<const double> x, std::span<double> y) const;
+
+    double diagonal(std::size_t i) const { return diag_[i]; }
+
+private:
+    SparseMatrix() = default;
+
+    std::size_t n_ = 0;
+    std::vector<std::size_t> row_start_;  // n_ + 1 entries
+    std::vector<std::size_t> col_;
+    std::vector<double> val_;
+    std::vector<double> diag_;
+};
+
+/// Result of a conjugate-gradient solve.
+struct CgResult {
+    std::size_t iterations = 0;
+    double residual_norm = 0.0;  // ||b - A x|| at exit
+    bool converged = false;
+};
+
+/// Jacobi-preconditioned conjugate gradient. `x` carries the initial guess
+/// in and the solution out. Stops when ||r|| <= tol * max(1, ||b||) or after
+/// max_iters iterations.
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tol = 1e-10,
+                            std::size_t max_iters = 10'000);
+
+}  // namespace lily

@@ -1,0 +1,29 @@
+// Small text helpers shared by the genlib and BLIF parsers and the
+// table-formatting code in the benchmark harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lily {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of spaces/tabs; no empty tokens.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split_char(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double; throws std::invalid_argument naming `context` on failure.
+double parse_double(std::string_view s, std::string_view context);
+
+/// Format a double with fixed precision (for table output).
+std::string format_fixed(double v, int decimals);
+
+}  // namespace lily
