@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_library"
+  "../bench/ablation_library.pdb"
+  "CMakeFiles/ablation_library.dir/ablation_library.cpp.o"
+  "CMakeFiles/ablation_library.dir/ablation_library.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

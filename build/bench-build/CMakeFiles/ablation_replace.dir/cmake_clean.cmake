@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_replace"
+  "../bench/ablation_replace.pdb"
+  "CMakeFiles/ablation_replace.dir/ablation_replace.cpp.o"
+  "CMakeFiles/ablation_replace.dir/ablation_replace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

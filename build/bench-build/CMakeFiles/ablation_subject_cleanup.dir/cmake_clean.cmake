@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_subject_cleanup"
+  "../bench/ablation_subject_cleanup.pdb"
+  "CMakeFiles/ablation_subject_cleanup.dir/ablation_subject_cleanup.cpp.o"
+  "CMakeFiles/ablation_subject_cleanup.dir/ablation_subject_cleanup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subject_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_update_rule"
+  "../bench/ablation_update_rule.pdb"
+  "CMakeFiles/ablation_update_rule.dir/ablation_update_rule.cpp.o"
+  "CMakeFiles/ablation_update_rule.dir/ablation_update_rule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_distribution_points"
+  "../bench/fig1a_distribution_points.pdb"
+  "CMakeFiles/fig1a_distribution_points.dir/fig1a_distribution_points.cpp.o"
+  "CMakeFiles/fig1a_distribution_points.dir/fig1a_distribution_points.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_distribution_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_distribution_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1a_distribution_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_decomposition"
+  "../bench/fig1b_decomposition.pdb"
+  "CMakeFiles/fig1b_decomposition.dir/fig1b_decomposition.cpp.o"
+  "CMakeFiles/fig1b_decomposition.dir/fig1b_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

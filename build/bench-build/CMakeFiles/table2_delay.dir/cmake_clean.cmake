@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_delay"
+  "../bench/table2_delay.pdb"
+  "CMakeFiles/table2_delay.dir/table2_delay.cpp.o"
+  "CMakeFiles/table2_delay.dir/table2_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_flow.dir/area_flow.cpp.o"
+  "CMakeFiles/area_flow.dir/area_flow.cpp.o.d"
+  "area_flow"
+  "area_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_gallery.dir/placement_gallery.cpp.o"
+  "CMakeFiles/placement_gallery.dir/placement_gallery.cpp.o.d"
+  "placement_gallery"
+  "placement_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

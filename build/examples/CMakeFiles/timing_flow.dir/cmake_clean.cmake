@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_flow.dir/timing_flow.cpp.o"
+  "CMakeFiles/timing_flow.dir/timing_flow.cpp.o.d"
+  "timing_flow"
+  "timing_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("library")
+subdirs("subject")
+subdirs("match")
+subdirs("map")
+subdirs("place")
+subdirs("route")
+subdirs("sta")
+subdirs("lily")
+subdirs("flow")
+subdirs("circuits")
+subdirs("opt")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_circuits.dir/benchmarks.cpp.o"
+  "CMakeFiles/lily_circuits.dir/benchmarks.cpp.o.d"
+  "liblily_circuits.a"
+  "liblily_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

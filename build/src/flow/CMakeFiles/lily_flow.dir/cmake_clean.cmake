@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_flow.dir/flow.cpp.o"
+  "CMakeFiles/lily_flow.dir/flow.cpp.o.d"
+  "liblily_flow.a"
+  "liblily_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

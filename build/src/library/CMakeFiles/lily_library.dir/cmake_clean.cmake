@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_library.dir/expr.cpp.o"
+  "CMakeFiles/lily_library.dir/expr.cpp.o.d"
+  "CMakeFiles/lily_library.dir/library.cpp.o"
+  "CMakeFiles/lily_library.dir/library.cpp.o.d"
+  "CMakeFiles/lily_library.dir/pattern.cpp.o"
+  "CMakeFiles/lily_library.dir/pattern.cpp.o.d"
+  "CMakeFiles/lily_library.dir/standard_cells.cpp.o"
+  "CMakeFiles/lily_library.dir/standard_cells.cpp.o.d"
+  "liblily_library.a"
+  "liblily_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_core.dir/fanout_opt.cpp.o"
+  "CMakeFiles/lily_core.dir/fanout_opt.cpp.o.d"
+  "CMakeFiles/lily_core.dir/lily_mapper.cpp.o"
+  "CMakeFiles/lily_core.dir/lily_mapper.cpp.o.d"
+  "liblily_core.a"
+  "liblily_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_map.dir/base_mapper.cpp.o"
+  "CMakeFiles/lily_map.dir/base_mapper.cpp.o.d"
+  "CMakeFiles/lily_map.dir/mapped_netlist.cpp.o"
+  "CMakeFiles/lily_map.dir/mapped_netlist.cpp.o.d"
+  "CMakeFiles/lily_map.dir/verilog.cpp.o"
+  "CMakeFiles/lily_map.dir/verilog.cpp.o.d"
+  "liblily_map.a"
+  "liblily_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

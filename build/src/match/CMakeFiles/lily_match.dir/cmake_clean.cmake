@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_match.dir/matcher.cpp.o"
+  "CMakeFiles/lily_match.dir/matcher.cpp.o.d"
+  "liblily_match.a"
+  "liblily_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

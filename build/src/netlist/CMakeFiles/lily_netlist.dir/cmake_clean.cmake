@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_netlist.dir/blif.cpp.o"
+  "CMakeFiles/lily_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/lily_netlist.dir/network.cpp.o"
+  "CMakeFiles/lily_netlist.dir/network.cpp.o.d"
+  "CMakeFiles/lily_netlist.dir/simulate.cpp.o"
+  "CMakeFiles/lily_netlist.dir/simulate.cpp.o.d"
+  "CMakeFiles/lily_netlist.dir/sop.cpp.o"
+  "CMakeFiles/lily_netlist.dir/sop.cpp.o.d"
+  "liblily_netlist.a"
+  "liblily_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_opt.dir/optimize.cpp.o"
+  "CMakeFiles/lily_opt.dir/optimize.cpp.o.d"
+  "CMakeFiles/lily_opt.dir/sop_algebra.cpp.o"
+  "CMakeFiles/lily_opt.dir/sop_algebra.cpp.o.d"
+  "liblily_opt.a"
+  "liblily_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/netlist_adapters.cpp" "src/place/CMakeFiles/lily_place.dir/netlist_adapters.cpp.o" "gcc" "src/place/CMakeFiles/lily_place.dir/netlist_adapters.cpp.o.d"
+  "/root/repo/src/place/pads.cpp" "src/place/CMakeFiles/lily_place.dir/pads.cpp.o" "gcc" "src/place/CMakeFiles/lily_place.dir/pads.cpp.o.d"
+  "/root/repo/src/place/quadratic.cpp" "src/place/CMakeFiles/lily_place.dir/quadratic.cpp.o" "gcc" "src/place/CMakeFiles/lily_place.dir/quadratic.cpp.o.d"
+  "/root/repo/src/place/rows.cpp" "src/place/CMakeFiles/lily_place.dir/rows.cpp.o" "gcc" "src/place/CMakeFiles/lily_place.dir/rows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lily_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/subject/CMakeFiles/lily_subject.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/lily_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/lily_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/lily_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/lily_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

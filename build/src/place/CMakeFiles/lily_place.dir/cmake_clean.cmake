@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_place.dir/netlist_adapters.cpp.o"
+  "CMakeFiles/lily_place.dir/netlist_adapters.cpp.o.d"
+  "CMakeFiles/lily_place.dir/pads.cpp.o"
+  "CMakeFiles/lily_place.dir/pads.cpp.o.d"
+  "CMakeFiles/lily_place.dir/quadratic.cpp.o"
+  "CMakeFiles/lily_place.dir/quadratic.cpp.o.d"
+  "CMakeFiles/lily_place.dir/rows.cpp.o"
+  "CMakeFiles/lily_place.dir/rows.cpp.o.d"
+  "liblily_place.a"
+  "liblily_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_route.dir/chip_area.cpp.o"
+  "CMakeFiles/lily_route.dir/chip_area.cpp.o.d"
+  "CMakeFiles/lily_route.dir/global_router.cpp.o"
+  "CMakeFiles/lily_route.dir/global_router.cpp.o.d"
+  "CMakeFiles/lily_route.dir/wire_models.cpp.o"
+  "CMakeFiles/lily_route.dir/wire_models.cpp.o.d"
+  "liblily_route.a"
+  "liblily_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

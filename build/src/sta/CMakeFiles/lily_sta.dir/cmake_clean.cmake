@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_sta.dir/gate_sizing.cpp.o"
+  "CMakeFiles/lily_sta.dir/gate_sizing.cpp.o.d"
+  "CMakeFiles/lily_sta.dir/timing.cpp.o"
+  "CMakeFiles/lily_sta.dir/timing.cpp.o.d"
+  "liblily_sta.a"
+  "liblily_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_subject.dir/cones.cpp.o"
+  "CMakeFiles/lily_subject.dir/cones.cpp.o.d"
+  "CMakeFiles/lily_subject.dir/decompose.cpp.o"
+  "CMakeFiles/lily_subject.dir/decompose.cpp.o.d"
+  "CMakeFiles/lily_subject.dir/subject_graph.cpp.o"
+  "CMakeFiles/lily_subject.dir/subject_graph.cpp.o.d"
+  "liblily_subject.a"
+  "liblily_subject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_subject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_util.dir/geometry.cpp.o"
+  "CMakeFiles/lily_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/lily_util.dir/sparse.cpp.o"
+  "CMakeFiles/lily_util.dir/sparse.cpp.o.d"
+  "CMakeFiles/lily_util.dir/text.cpp.o"
+  "CMakeFiles/lily_util.dir/text.cpp.o.d"
+  "liblily_util.a"
+  "liblily_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

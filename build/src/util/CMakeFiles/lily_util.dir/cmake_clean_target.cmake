@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblily_util.a"
+)

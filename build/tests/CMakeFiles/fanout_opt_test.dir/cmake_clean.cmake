@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_opt_test.dir/fanout_opt_test.cpp.o"
+  "CMakeFiles/fanout_opt_test.dir/fanout_opt_test.cpp.o.d"
+  "fanout_opt_test"
+  "fanout_opt_test.pdb"
+  "fanout_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

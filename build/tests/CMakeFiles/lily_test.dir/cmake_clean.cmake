@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lily_test.dir/lily_test.cpp.o"
+  "CMakeFiles/lily_test.dir/lily_test.cpp.o.d"
+  "lily_test"
+  "lily_test.pdb"
+  "lily_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lily_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

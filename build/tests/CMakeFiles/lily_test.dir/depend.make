@@ -1,0 +1,2 @@
+# Empty dependencies file for lily_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_test.dir/output_test.cpp.o"
+  "CMakeFiles/output_test.dir/output_test.cpp.o.d"
+  "output_test"
+  "output_test.pdb"
+  "output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

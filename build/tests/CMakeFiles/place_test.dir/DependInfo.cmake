@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/place_test.cpp" "tests/CMakeFiles/place_test.dir/place_test.cpp.o" "gcc" "tests/CMakeFiles/place_test.dir/place_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/lily_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/lily_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/lily_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/subject/CMakeFiles/lily_subject.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/lily_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/lily_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lily_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

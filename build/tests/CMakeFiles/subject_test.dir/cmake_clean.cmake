@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subject_test.dir/subject_test.cpp.o"
+  "CMakeFiles/subject_test.dir/subject_test.cpp.o.d"
+  "subject_test"
+  "subject_test.pdb"
+  "subject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
