@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI entrypoint: build twice (release with -Werror, and ASan+UBSan with the
+# pipeline's CheckLevel forced to paranoid), run the full test suite on
+# both, then audit the example circuits with lily_lint — including the
+# injected-violation runs that prove the checkers still bite.
+#
+# Usage: scripts/ci.sh [--jobs N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "--jobs" ]]; then JOBS="$2"; fi
+
+run() { echo "+ $*"; "$@"; }
+
+# ---- Build 1: release, warnings are errors -----------------------------
+run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DLILY_WERROR=ON
+run cmake --build build-ci-release -j "$JOBS"
+run env -C build-ci-release ctest --output-on-failure -j "$JOBS"
+
+# ---- Build 2: ASan+UBSan, paranoid pipeline self-checks ----------------
+run cmake -B build-ci-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLILY_WERROR=ON "-DLILY_SANITIZE=address;undefined"
+run cmake --build build-ci-sanitize -j "$JOBS"
+run env -C build-ci-sanitize LILY_CHECK_LEVEL=paranoid \
+    ctest --output-on-failure -j "$JOBS"
+
+# ---- lily_lint over the example circuits (both libraries) --------------
+LINT=build-ci-sanitize/src/check/lily_lint
+for blif in examples/circuits/*.blif; do
+  for lib in lib/msu_tiny.genlib lib/msu_big.genlib; do
+    run "$LINT" --quiet "$blif" "$lib"
+  done
+done
+
+# Injected violations must be *detected* (exit code 1, not 0 and not a
+# crash/usage error).
+for inject in cycle offchip badpad wrong-cover dup-drive; do
+  echo "+ $LINT --inject=$inject (expect exit 1)"
+  set +e
+  "$LINT" --quiet --inject="$inject" examples/circuits/full_adder.blif lib/msu_big.genlib
+  status=$?
+  set -e
+  if [[ "$status" -ne 1 ]]; then
+    echo "FAIL: --inject=$inject exited $status, expected 1" >&2
+    exit 1
+  fi
+done
+
+# ---- clang-tidy (advisory; runs only when installed) -------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  run cmake -B build-ci-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  git ls-files 'src/*.cpp' | xargs -P "$JOBS" -n 1 \
+    clang-tidy -p build-ci-release --quiet || true
+fi
+
+echo "CI OK"

@@ -1,0 +1,224 @@
+// lily_lint: run every pipeline invariant checker over a BLIF circuit and a
+// genlib library, printing structured diagnostics and exit-coding on
+// errors. The tool drives the whole pipeline itself (decompose -> match ->
+// map -> place -> time) so each stage's invariants are audited even when
+// the flow-level CheckLevel knob is off.
+//
+//   lily_lint [options] <circuit.blif> <library.genlib>
+//     --level=light|paranoid   light = structural checks only (default:
+//                              paranoid, adds simulation equivalence and
+//                              per-match cone verification)
+//     --inject=<kind>          deliberately corrupt one stage to prove the
+//                              checkers catch it: cycle, offchip, badpad,
+//                              wrong-cover, dup-drive
+//     --max-match-nodes=<n>    bound the per-node match audit (0 = all)
+//     --quiet                  suppress per-issue lines, print summary only
+//
+// Exit codes: 0 = clean (warnings allowed), 1 = invariant errors found,
+// 2 = usage or input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/mapped_checker.hpp"
+#include "check/match_checker.hpp"
+#include "check/network_checker.hpp"
+#include "check/placement_checker.hpp"
+#include "check/subject_checker.hpp"
+#include "map/base_mapper.hpp"
+#include "netlist/blif.hpp"
+#include "place/netlist_adapters.hpp"
+#include "subject/decompose.hpp"
+
+namespace {
+
+using namespace lily;
+
+struct LintArgs {
+    std::string blif_path;
+    std::string genlib_path;
+    CheckLevel level = CheckLevel::Paranoid;
+    std::string inject = "none";
+    std::size_t max_match_nodes = 0;
+    bool quiet = false;
+};
+
+void usage(std::FILE* to) {
+    std::fputs(
+        "usage: lily_lint [--level=light|paranoid] [--inject=kind] "
+        "[--max-match-nodes=N] [--quiet] <circuit.blif> <library.genlib>\n"
+        "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n",
+        to);
+}
+
+bool parse_args(int argc, char** argv, LintArgs& out) {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--level=", 0) == 0) {
+            const std::string level = arg.substr(8);
+            if (level != "light" && level != "paranoid") {
+                std::fprintf(stderr, "lily_lint: unknown level '%s'\n", level.c_str());
+                return false;
+            }
+            out.level = parse_check_level(level, CheckLevel::Paranoid);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            out.inject = arg.substr(9);
+            static const char* kKinds[] = {"cycle", "offchip", "badpad", "wrong-cover",
+                                           "dup-drive"};
+            bool known = false;
+            for (const char* kind : kKinds) known = known || out.inject == kind;
+            if (!known) {
+                std::fprintf(stderr, "lily_lint: unknown inject kind '%s'\n",
+                             out.inject.c_str());
+                return false;
+            }
+        } else if (arg.rfind("--max-match-nodes=", 0) == 0) {
+            out.max_match_nodes = static_cast<std::size_t>(std::stoull(arg.substr(18)));
+        } else if (arg == "--quiet") {
+            out.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "lily_lint: unknown option '%s'\n", arg.c_str());
+            return false;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) return false;
+    out.blif_path = positional[0];
+    out.genlib_path = positional[1];
+    return true;
+}
+
+/// Replace one instance's gate with a different same-arity gate whose truth
+/// table differs — a functionally wrong cover the equivalence check must
+/// catch.
+bool inject_wrong_cover(MappedNetlist& mapped, const Library& lib) {
+    for (GateInstance& inst : mapped.gates) {
+        const Gate& current = lib.gate(inst.gate);
+        for (GateId g = 0; g < lib.size(); ++g) {
+            const Gate& candidate = lib.gate(g);
+            if (g != inst.gate && candidate.n_inputs() == current.n_inputs() &&
+                !(candidate.function == current.function)) {
+                inst.gate = g;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    LintArgs args;
+    if (!parse_args(argc, argv, args)) {
+        usage(stderr);
+        return 2;
+    }
+    const bool paranoid = args.level == CheckLevel::Paranoid;
+
+    Network net("lint");
+    Library lib;
+    try {
+        net = read_blif_file(args.blif_path);
+        lib = read_genlib_file(args.genlib_path);
+        lib.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lily_lint: %s\n", e.what());
+        return 2;
+    }
+
+    CheckReport all;
+    const auto run_stage = [&](const char* stage, CheckReport rep) {
+        if (!args.quiet && !rep.empty()) std::fputs(rep.to_string().c_str(), stdout);
+        if (!args.quiet) {
+            std::printf("%-10s %zu error(s), %zu warning(s)\n", stage, rep.error_count(),
+                        rep.warning_count());
+        }
+        all.merge(rep);
+    };
+
+    try {
+        // Stage 1: the source network.
+        if (args.inject == "cycle" && net.logic_node_count() > 0) {
+            // A fanin edge pointing forward in the topological order — the
+            // id-order invariant that stands in for acyclicity.
+            const NodeId last = static_cast<NodeId>(net.node_count() - 1);
+            for (const NodeId id : net.logic_nodes()) {
+                if (id < last) {
+                    net.node(id).fanins.push_back(last);
+                    break;
+                }
+            }
+        }
+        run_stage("network", NetworkChecker{}.check(net));
+
+        // Stage 2: decomposition into the subject graph.
+        const DecomposeResult sub = decompose(net);
+        SubjectChecker subject_checker;
+        run_stage("subject", paranoid ? subject_checker.check_against_source(sub.graph, net)
+                                      : subject_checker.check(sub.graph));
+
+        // Stage 3: pattern matches at every node.
+        run_stage("match",
+                  MatchChecker(lib).check_all(sub.graph, args.max_match_nodes, paranoid));
+
+        // Stage 4: technology mapping.
+        MapResult mapped = BaseMapper(lib).map(sub.graph);
+        if (args.inject == "wrong-cover" && !inject_wrong_cover(mapped.netlist, lib)) {
+            std::fprintf(stderr, "lily_lint: library too small to inject wrong-cover\n");
+            return 2;
+        }
+        if (args.inject == "dup-drive" && !mapped.netlist.gates.empty()) {
+            mapped.netlist.gates.push_back(mapped.netlist.gates.back());
+        }
+        MappedChecker mapped_checker(lib);
+        run_stage("mapped", paranoid ? mapped_checker.check_against(mapped.netlist, net)
+                                     : mapped_checker.check(mapped.netlist));
+        if (all.has_errors() && (args.inject == "dup-drive" || args.inject == "cycle")) {
+            // The remaining stages would operate on the corrupted data;
+            // report and stop (mirrors the flow, which throws here).
+            std::printf("TOTAL      %zu error(s), %zu warning(s)\n", all.error_count(),
+                        all.warning_count());
+            return 1;
+        }
+
+        // Stage 5: placement and timing over the mapped netlist.
+        MappedPlacementView view = make_placement_view(mapped.netlist, lib);
+        const Rect region = make_region(view.netlist.total_cell_area());
+        view.netlist.pad_positions = place_pads(view.netlist, region);
+        PlacementNetlist& pnl = view.netlist;
+        if (args.inject == "badpad" && !pnl.pad_positions.empty()) {
+            pnl.pad_positions[0] = region.center();  // off the boundary ring
+        }
+        const GlobalPlacement global = place_global(pnl, region);
+        DetailedPlacement detailed = legalize_rows(pnl, global);
+        improve_rows(pnl, detailed);
+        if (args.inject == "offchip" && !detailed.positions.empty()) {
+            detailed.positions[0] = {region.ur.x * 1e6 + 10.0, region.ur.y * 1e6 + 10.0};
+        }
+        PlacementChecker placement_checker;
+        CheckReport placement = placement_checker.check_global(pnl, global);
+        placement.merge(placement_checker.check_detailed(pnl, detailed));
+        placement.merge(placement_checker.check_pads(pnl.pad_positions, region));
+        run_stage("placement", placement);
+
+        const TimingReport timing =
+            analyze_timing(mapped.netlist, lib, view, detailed.positions);
+        run_stage("timing", mapped_checker.check_timing(mapped.netlist, timing));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lily_lint: pipeline failed: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("TOTAL      %zu error(s), %zu warning(s)\n", all.error_count(),
+                all.warning_count());
+    return all.has_errors() ? 1 : 0;
+}

@@ -1,0 +1,116 @@
+#include "check/network_checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lily {
+
+namespace {
+
+std::size_t count_of(const std::vector<NodeId>& xs, NodeId x) {
+    return static_cast<std::size_t>(std::count(xs.begin(), xs.end(), x));
+}
+
+}  // namespace
+
+CheckReport NetworkChecker::check(const Network& net) const {
+    CheckReport rep;
+    const std::size_t n = net.node_count();
+    const CheckStage stage = CheckStage::Network;
+
+    std::unordered_map<std::string, NodeId> names;
+    for (NodeId i = 0; i < n; ++i) {
+        const Node& node = net.node(i);
+
+        if (node.name.empty()) {
+            rep.error(stage, i, "node has an empty name");
+        } else if (const auto [it, inserted] = names.emplace(node.name, i); !inserted) {
+            rep.error(stage, i,
+                      "name '" + node.name + "' already used by node " +
+                          std::to_string(it->second));
+        }
+
+        // Acyclicity: node ids are a topological order by construction, so
+        // any fanin at or after the node itself means a cycle (or a
+        // corrupted edge that permits one).
+        for (const NodeId f : node.fanins) {
+            if (f >= n) {
+                rep.error(stage, i, "fanin id " + std::to_string(f) + " out of range");
+                continue;
+            }
+            if (f == i) {
+                rep.error(stage, i, "self-loop: node is its own fanin (cycle)");
+                continue;
+            }
+            if (f > i) {
+                rep.error(stage, i,
+                          "fanin " + std::to_string(f) +
+                              " not earlier in topological order (cycle)");
+                continue;
+            }
+            const std::size_t forward = count_of(node.fanins, f);
+            const std::size_t backward = count_of(net.node(f).fanouts, i);
+            if (forward != backward) {
+                rep.error(stage, i,
+                          "fanin/fanout asymmetry with node " + std::to_string(f) + ": " +
+                              std::to_string(forward) + " fanin edge(s) vs " +
+                              std::to_string(backward) + " fanout edge(s)");
+            }
+        }
+        for (const NodeId fo : node.fanouts) {
+            if (fo >= n) {
+                rep.error(stage, i, "fanout id " + std::to_string(fo) + " out of range");
+            } else if (count_of(net.node(fo).fanins, i) == 0) {
+                rep.error(stage, i,
+                          "fanout edge to node " + std::to_string(fo) +
+                              " with no matching fanin edge");
+            }
+        }
+
+        if (node.kind == NodeKind::PrimaryInput) {
+            if (!node.fanins.empty()) rep.error(stage, i, "primary input has fanins");
+            continue;
+        }
+
+        // SOP variable bounds: the function may only reference fanin slots
+        // the node actually has.
+        if (node.function.max_fanin_index() > node.fanins.size()) {
+            rep.error(stage, i,
+                      "SOP references fanin slot " +
+                          std::to_string(node.function.max_fanin_index() - 1) + " but node has " +
+                          std::to_string(node.fanins.size()) + " fanins");
+        }
+        if (node.fanouts.empty() && !node.is_po_driver) {
+            rep.warning(stage, i, "dangling logic node: no fanouts and drives no output");
+        }
+    }
+
+    std::vector<bool> drives_po(n, false);
+    std::unordered_map<std::string, std::size_t> po_names;
+    for (std::size_t k = 0; k < net.outputs().size(); ++k) {
+        const PrimaryOutput& po = net.outputs()[k];
+        if (const auto [it, inserted] = po_names.emplace(po.name, k); !inserted) {
+            rep.warning(stage, kNoCheckNode,
+                        "duplicate primary output name '" + po.name + "'");
+        }
+        if (po.driver >= n) {
+            rep.error(stage, kNoCheckNode,
+                      "primary output '" + po.name + "' has dangling driver id " +
+                          std::to_string(po.driver));
+            continue;
+        }
+        drives_po[po.driver] = true;
+        if (!net.node(po.driver).is_po_driver) {
+            rep.error(stage, po.driver,
+                      "drives output '" + po.name + "' but is_po_driver flag unset");
+        }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+        if (net.node(i).is_po_driver && !drives_po[i]) {
+            rep.warning(stage, i, "is_po_driver flag set but no output references the node");
+        }
+    }
+    return rep;
+}
+
+}  // namespace lily

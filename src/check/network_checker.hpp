@@ -1,0 +1,18 @@
+// Structural lint for Boolean networks: acyclicity (topological creation
+// order), fanin/fanout symmetry, dangling nodes, name uniqueness, SOP
+// variable bounds, primary-output driver validity.
+#pragma once
+
+#include "check/check.hpp"
+#include "netlist/network.hpp"
+
+namespace lily {
+
+class NetworkChecker {
+public:
+    /// Run every structural check; never throws on a bad network — all
+    /// violations come back as issues.
+    CheckReport check(const Network& net) const;
+};
+
+}  // namespace lily

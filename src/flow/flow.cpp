@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "check/mapped_checker.hpp"
+#include "check/match_checker.hpp"
+#include "check/placement_checker.hpp"
+#include "check/subject_checker.hpp"
 #include "subject/decompose.hpp"
 
 namespace lily {
@@ -21,6 +25,39 @@ Point rescale(const Point& p, const Rect& from, const Rect& to) {
     const double sx = to.width() / std::max(from.width(), 1e-12);
     const double sy = to.height() / std::max(from.height(), 1e-12);
     return {ct.x + (p.x - cf.x) * sx, ct.y + (p.y - cf.y) * sy};
+}
+
+// ---- CheckLevel wiring: per-stage self-verification --------------------
+
+void verify_subject(CheckLevel level, const SubjectGraph& g, const Network& source,
+                    const char* context) {
+    if (level == CheckLevel::Off) return;
+    const SubjectChecker checker;
+    (level == CheckLevel::Paranoid ? checker.check_against_source(g, source)
+                                   : checker.check(g))
+        .throw_if_errors(context);
+}
+
+/// Paranoid only: every match a mapper chose must be a legal cover that
+/// computes its cone's function.
+template <typename Solution>
+void verify_chosen_matches(CheckLevel level, const Library& lib, const SubjectGraph& g,
+                           const std::vector<Solution>& solution, const char* context) {
+    if (level != CheckLevel::Paranoid) return;
+    const MatchChecker checker(lib);
+    CheckReport rep;
+    for (const Solution& s : solution) {
+        if (s.has_match) rep.merge(checker.check_function(g, s.match));
+    }
+    rep.throw_if_errors(context);
+}
+
+void verify_mapped(CheckLevel level, const Library& lib, const MappedNetlist& m,
+                   const Network& source, const char* context) {
+    if (level == CheckLevel::Off) return;
+    const MappedChecker checker(lib);
+    (level == CheckLevel::Paranoid ? checker.check_against(m, source) : checker.check(m))
+        .throw_if_errors(context);
 }
 
 }  // namespace
@@ -81,6 +118,24 @@ FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const Fl
     const TimingReport timing =
         analyze_timing(mapped, lib, view, detailed.positions, opts.timing);
 
+    if (opts.check != CheckLevel::Off) {
+        const MappedChecker mapped_checker(lib);
+        const PlacementChecker placement_checker;
+        CheckReport rep = mapped_checker.check(mapped);
+        rep.merge(placement_checker.check_global(placed_netlist, global));
+        rep.merge(placement_checker.check_detailed(view.netlist, detailed));
+        if (!pads.has_value()) {
+            // Caller-supplied pad rings are a geometry contract of their own:
+            // they may sit on the boundary of a *different* region (e.g. a
+            // fixed ring reused across two mappings), so after rescaling they
+            // need not land on this region's boundary. Only the ring this
+            // back end placed itself must satisfy the boundary invariant.
+            rep.merge(placement_checker.check_pads(view.netlist.pad_positions, region));
+        }
+        rep.merge(mapped_checker.check_timing(mapped, timing));
+        rep.throw_if_errors("run_backend");
+    }
+
     out.metrics.gate_count = mapped.gate_count();
     out.metrics.cell_area = chip.cell_area;
     out.metrics.chip_area = chip.chip_area;
@@ -95,21 +150,40 @@ FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowO
     // mapper cannot see pad locations — exactly the paper's remark that the
     // standard MIS pipeline "cannot make use of the location of pads".
     const DecomposeResult sub = decompose(net, opts.decompose);
+    verify_subject(opts.check, sub.graph, net, "run_baseline_flow: decompose");
     BaseMapperOptions base = opts.base;
     base.objective = opts.objective;
     base.mode = effective_cover(opts);
     const MapResult res = BaseMapper(lib).map(sub.graph, base);
+    verify_chosen_matches(opts.check, lib, sub.graph, res.solution,
+                          "run_baseline_flow: matches");
+    verify_mapped(opts.check, lib, res.netlist, net, "run_baseline_flow: mapping");
     return run_backend(res.netlist, lib, opts);
 }
 
 FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
     // Pipeline 2: pads first, then placement-coupled mapping.
     const DecomposeResult sub = decompose(net, opts.decompose);
+    verify_subject(opts.check, sub.graph, net, "run_lily_flow: decompose");
     LilyOptions lily = opts.lily;
     lily.objective = opts.objective;
     lily.cover = effective_cover(opts);
     LilyMapper mapper(lib);
     const LilyResult res = mapper.map(sub.graph, lily);
+    verify_chosen_matches(opts.check, lib, sub.graph, res.solution, "run_lily_flow: matches");
+    verify_mapped(opts.check, lib, res.netlist, net, "run_lily_flow: mapping");
+    if (opts.check != CheckLevel::Off) {
+        // The inchoate placement every wire estimate was drawn from, and
+        // the pre-mapping pad ring the back end will reuse.
+        const PlacementChecker placement_checker;
+        CheckReport rep =
+            placement_checker.check_positions(res.inchoate_placement.positions,
+                                              res.inchoate_placement.positions.size(),
+                                              res.inchoate_placement.region);
+        rep.merge(placement_checker.check_pads(res.pad_positions,
+                                               res.inchoate_placement.region));
+        rep.throw_if_errors("run_lily_flow: inchoate placement");
+    }
 
     // Reuse the pre-mapping pad assignment for the back end; the pad ring
     // was chosen on the inchoate region, so pass that region for rescaling.

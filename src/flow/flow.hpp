@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "check/check.hpp"
 #include "lily/lily_mapper.hpp"
 #include "subject/decompose.hpp"
 #include "map/base_mapper.hpp"
@@ -48,6 +49,13 @@ struct FlowOptions {
     ChipAreaOptions chip;
     TimingOptions timing;
     double placement_utilization = 0.5;
+    /// Pipeline self-verification: every stage runs its invariant checkers
+    /// and throws std::logic_error (with the full CheckReport) on a
+    /// violation. Light = structural scans; Paranoid adds simulation
+    /// equivalence and per-match cone verification. Defaults to the
+    /// LILY_CHECK_LEVEL environment variable (off when unset), so test and
+    /// CI runs can turn the whole pipeline paranoid without code changes.
+    CheckLevel check = check_level_from_env();
 };
 
 struct FlowMetrics {
