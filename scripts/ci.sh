@@ -47,6 +47,38 @@ for inject in cycle offchip badpad wrong-cover dup-drive; do
   fi
 done
 
+# ---- Recovery-path suite (sanitized build) -----------------------------
+# Injected recovery-ladder faults must be *survived*: the flow completes
+# (exit 0), reports itself degraded, and the fallback result passes the
+# paranoid checkers (lily_lint runs them inside the flow).
+for fault in parser:skip-gate placement:diverge matcher:no-match router:overbudget; do
+  echo "+ $LINT --inject=$fault (expect exit 0, degraded)"
+  set +e
+  out="$("$LINT" --level=paranoid --inject="$fault" \
+        examples/circuits/parity8.blif lib/msu_big.genlib)"
+  status=$?
+  set -e
+  if [[ "$status" -ne 0 ]]; then
+    echo "FAIL: --inject=$fault exited $status, expected 0" >&2
+    exit 1
+  fi
+  if ! grep -q "^flow: degraded" <<<"$out"; then
+    echo "FAIL: --inject=$fault did not report a degraded flow:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+done
+
+# A starved wall-clock budget must also degrade gracefully, never abort.
+echo "+ $LINT --flow --budget-ms (60s smoke, expect exit 0)"
+run timeout 60 "$LINT" --flow --budget-ms=1 --level=paranoid \
+    examples/circuits/parity8.blif lib/msu_big.genlib
+
+# And the unfaulted flow must report itself clean.
+echo "+ $LINT --flow (expect 'flow: clean')"
+"$LINT" --flow --quiet examples/circuits/parity8.blif lib/msu_big.genlib \
+  | grep -q "^flow: clean"
+
 # ---- clang-tidy (advisory; runs only when installed) -------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-ci-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON

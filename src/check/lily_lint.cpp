@@ -10,12 +10,24 @@
 //                              per-match cone verification)
 //     --inject=<kind>          deliberately corrupt one stage to prove the
 //                              checkers catch it: cycle, offchip, badpad,
-//                              wrong-cover, dup-drive
+//                              wrong-cover, dup-drive. A kind of the form
+//                              stage:kind (e.g. placement:diverge) is a
+//                              recovery-ladder fault instead: it is fed to
+//                              the fault-injection registry and implies
+//                              --flow, proving the flow *survives* it.
+//     --flow[=lily|baseline|adaptive]
+//                              run the checked flow engine end to end and
+//                              print its FlowDiagnostics instead of the
+//                              per-stage checker audit. Exit 0 even when
+//                              the run is degraded (the diagnostics say
+//                              so); non-zero only when no rung of the
+//                              recovery ladder produced a result.
+//     --budget-ms=<n>          whole-flow wall-clock budget (flow mode)
 //     --max-match-nodes=<n>    bound the per-node match audit (0 = all)
 //     --quiet                  suppress per-issue lines, print summary only
 //
-// Exit codes: 0 = clean (warnings allowed), 1 = invariant errors found,
-// 2 = usage or input error.
+// Exit codes: 0 = clean (warnings allowed), 1 = invariant errors found or
+// unrecoverable flow failure, 2 = usage or input error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,10 +40,12 @@
 #include "check/network_checker.hpp"
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
+#include "flow/flow.hpp"
 #include "map/base_mapper.hpp"
 #include "netlist/blif.hpp"
 #include "place/netlist_adapters.hpp"
 #include "subject/decompose.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -44,13 +58,19 @@ struct LintArgs {
     std::string inject = "none";
     std::size_t max_match_nodes = 0;
     bool quiet = false;
+    bool flow_mode = false;
+    FlowKind flow_kind = FlowKind::Lily;
+    double budget_ms = 0.0;
 };
 
 void usage(std::FILE* to) {
     std::fputs(
         "usage: lily_lint [--level=light|paranoid] [--inject=kind] "
+        "[--flow[=lily|baseline|adaptive]] [--budget-ms=N] "
         "[--max-match-nodes=N] [--quiet] <circuit.blif> <library.genlib>\n"
-        "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n",
+        "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n"
+        "  fault specs (imply --flow): parser:skip-gate placement:diverge "
+        "matcher:no-match router:overbudget\n",
         to);
 }
 
@@ -67,15 +87,49 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
             out.level = parse_check_level(level, CheckLevel::Paranoid);
         } else if (arg.rfind("--inject=", 0) == 0) {
             out.inject = arg.substr(9);
-            static const char* kKinds[] = {"cycle", "offchip", "badpad", "wrong-cover",
-                                           "dup-drive"};
-            bool known = false;
-            for (const char* kind : kKinds) known = known || out.inject == kind;
-            if (!known) {
-                std::fprintf(stderr, "lily_lint: unknown inject kind '%s'\n",
-                             out.inject.c_str());
-                return false;
+            if (out.inject.find(':') != std::string::npos) {
+                // stage:kind specs are recovery-ladder faults, handled by the
+                // flow engine's injection registry rather than local
+                // corruption; they only make sense in flow mode.
+                static const char* kFaults[] = {"parser:skip-gate", "placement:diverge",
+                                                "matcher:no-match", "router:overbudget"};
+                bool known = false;
+                for (const char* f : kFaults) known = known || out.inject == f;
+                if (!known) {
+                    std::fprintf(stderr, "lily_lint: unknown fault spec '%s'\n",
+                                 out.inject.c_str());
+                    return false;
+                }
+                set_fault_spec(out.inject);
+                out.flow_mode = true;
+            } else {
+                static const char* kKinds[] = {"cycle", "offchip", "badpad", "wrong-cover",
+                                               "dup-drive"};
+                bool known = false;
+                for (const char* kind : kKinds) known = known || out.inject == kind;
+                if (!known) {
+                    std::fprintf(stderr, "lily_lint: unknown inject kind '%s'\n",
+                                 out.inject.c_str());
+                    return false;
+                }
             }
+        } else if (arg == "--flow" || arg.rfind("--flow=", 0) == 0) {
+            out.flow_mode = true;
+            if (arg.size() > 6) {
+                const std::string kind = arg.substr(7);
+                if (kind == "lily") {
+                    out.flow_kind = FlowKind::Lily;
+                } else if (kind == "baseline") {
+                    out.flow_kind = FlowKind::Baseline;
+                } else if (kind == "adaptive") {
+                    out.flow_kind = FlowKind::Adaptive;
+                } else {
+                    std::fprintf(stderr, "lily_lint: unknown flow kind '%s'\n", kind.c_str());
+                    return false;
+                }
+            }
+        } else if (arg.rfind("--budget-ms=", 0) == 0) {
+            out.budget_ms = std::stod(arg.substr(12));
         } else if (arg.rfind("--max-match-nodes=", 0) == 0) {
             out.max_match_nodes = static_cast<std::size_t>(std::stoull(arg.substr(18)));
         } else if (arg == "--quiet") {
@@ -114,6 +168,30 @@ bool inject_wrong_cover(MappedNetlist& mapped, const Library& lib) {
     return false;
 }
 
+/// Flow mode: drive the fault-tolerant flow engine end to end and report
+/// its FlowDiagnostics. Degraded-but-complete runs exit 0 — that is the
+/// engine keeping its promise — while an unrecoverable failure exits 1 and
+/// a parse/usage error exits 2.
+int run_flow_mode(const LintArgs& args) {
+    FlowOptions opts;
+    opts.check = args.level;
+    opts.budget.total_ms = args.budget_ms;
+    const StatusOr<FlowResult> result =
+        run_flow_from_files(args.blif_path, args.genlib_path, opts, args.flow_kind);
+    if (!result.is_ok()) {
+        std::fprintf(stderr, "lily_lint: flow failed: %s\n",
+                     result.status().to_string().c_str());
+        return result.status().code() == StatusCode::ParseError ? 2 : 1;
+    }
+    const FlowResult& flow = result.value();
+    if (!args.quiet) std::fputs(flow.diagnostics.to_string().c_str(), stdout);
+    std::printf("metrics: gates=%zu chip-area=%.3f wirelength=%.3f delay=%.3f\n",
+                flow.metrics.gate_count, flow.metrics.chip_area, flow.metrics.wirelength,
+                flow.metrics.critical_delay);
+    std::printf("flow: %s\n", flow.diagnostics.degraded() ? "degraded" : "clean");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +200,7 @@ int main(int argc, char** argv) {
         usage(stderr);
         return 2;
     }
+    if (args.flow_mode) return run_flow_mode(args);
     const bool paranoid = args.level == CheckLevel::Paranoid;
 
     Network net("lint");

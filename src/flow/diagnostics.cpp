@@ -1,0 +1,61 @@
+#include "flow/diagnostics.hpp"
+
+#include <sstream>
+
+namespace lily {
+
+const char* to_string(StageState state) {
+    switch (state) {
+        case StageState::NotRun:
+            return "not-run";
+        case StageState::Ok:
+            return "ok";
+        case StageState::Degraded:
+            return "degraded";
+        case StageState::Recovered:
+            return "recovered";
+        case StageState::Failed:
+            return "failed";
+    }
+    return "?";
+}
+
+StageDiagnostics& FlowDiagnostics::stage(std::string_view name) {
+    for (StageDiagnostics& s : stages) {
+        if (s.name == name) return s;
+    }
+    stages.push_back({std::string(name), StageState::NotRun, 0.0, 0, {}});
+    return stages.back();
+}
+
+const StageDiagnostics* FlowDiagnostics::find(std::string_view name) const {
+    for (const StageDiagnostics& s : stages) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+bool FlowDiagnostics::degraded() const {
+    for (const StageDiagnostics& s : stages) {
+        if (s.state == StageState::Degraded || s.state == StageState::Recovered ||
+            s.state == StageState::Failed) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string FlowDiagnostics::to_string() const {
+    std::ostringstream out;
+    for (const StageDiagnostics& s : stages) {
+        out << s.name << ": " << lily::to_string(s.state);
+        out << " (" << s.elapsed_ms << "ms";
+        if (s.retries > 0) out << ", " << s.retries << " retries";
+        out << ")";
+        if (!s.note.empty()) out << " — " << s.note;
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace lily

@@ -1,16 +1,26 @@
 #include "flow/flow.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "check/mapped_checker.hpp"
 #include "check/match_checker.hpp"
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
+#include "netlist/blif.hpp"
 #include "subject/decompose.hpp"
+#include "util/fault.hpp"
 
 namespace lily {
 
 namespace {
+
+using FlowClock = StageBudget::Clock;
+
+double ms_since(FlowClock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(FlowClock::now() - t0).count();
+}
 
 CoverMode effective_cover(const FlowOptions& opts) {
     if (opts.cover.has_value()) return *opts.cover;
@@ -25,6 +35,18 @@ Point rescale(const Point& p, const Rect& from, const Rect& to) {
     const double sx = to.width() / std::max(from.width(), 1e-12);
     const double sy = to.height() / std::max(from.height(), 1e-12);
     return {ct.x + (p.x - cf.x) * sx, ct.y + (p.y - cf.y) * sy};
+}
+
+/// Fold the checkers' throwing interface into the Status channel: they
+/// signal corrupted pipeline state with std::logic_error.
+template <typename F>
+Status guarded_check(F&& body) {
+    try {
+        body();
+    } catch (const std::exception& e) {
+        return Status(StatusCode::InvariantViolation, e.what());
+    }
+    return Status::ok();
 }
 
 // ---- CheckLevel wiring: per-stage self-verification --------------------
@@ -60,11 +82,19 @@ void verify_mapped(CheckLevel level, const Library& lib, const MappedNetlist& m,
         .throw_if_errors(context);
 }
 
-}  // namespace
+/// Derive a per-stage budget: the stage's own allowance intersected with
+/// what remains of the whole flow's budget (when one exists).
+StageBudget derive_stage_budget(double stage_ms, const StageBudget* total) {
+    return total != nullptr ? StageBudget::stage(stage_ms, *total) : StageBudget(stage_ms);
+}
 
-FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
-                       std::optional<PadsInRegion> pads,
-                       std::optional<std::vector<Point>> seed_positions) {
+/// Shared back end with diagnostics and the routing rung of the degradation
+/// ladder. `diag` accumulates the caller's earlier stages and is moved onto
+/// the result; `total` (nullable) is the whole-flow budget.
+StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& lib,
+                                  const FlowOptions& opts, std::optional<PadsInRegion> pads,
+                                  std::optional<std::vector<Point>> seed_positions,
+                                  FlowDiagnostics diag, StageBudget* total) {
     FlowResult out;
     out.netlist = mapped;
 
@@ -75,7 +105,7 @@ FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const Fl
     const Rect seed_region = pads.has_value() ? pads->region : region;
     if (pads.has_value()) {
         if (pads->positions.size() != view.netlist.pad_positions.size()) {
-            throw std::invalid_argument("run_backend: pad count mismatch");
+            return Status(StatusCode::InvariantViolation, "run_backend: pad count mismatch");
         }
         for (std::size_t i = 0; i < pads->positions.size(); ++i) {
             view.netlist.pad_positions[i] = rescale(pads->positions[i], pads->region, region);
@@ -90,7 +120,8 @@ FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const Fl
     PlacementNetlist placed_netlist = view.netlist;
     if (seed_positions.has_value()) {
         if (seed_positions->size() != placed_netlist.n_cells) {
-            throw std::invalid_argument("run_backend: seed position count mismatch");
+            return Status(StatusCode::InvariantViolation,
+                          "run_backend: seed position count mismatch");
         }
         for (std::size_t c = 0; c < placed_netlist.n_cells; ++c) {
             const std::size_t pad = placed_netlist.pad_positions.size();
@@ -105,35 +136,104 @@ FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const Fl
         }
     }
 
-    const GlobalPlacement global = place_global(placed_netlist, region, opts.lily.placement);
+    // ---- Placement stage (budgeted: exhaustion keeps the coarser result).
+    FlowClock::time_point t0 = FlowClock::now();
+    StageBudget place_budget = derive_stage_budget(opts.budget.placement_ms, total);
+    GlobalPlacementOptions place_opts = opts.lily.placement;
+    if (place_opts.budget == nullptr && place_budget.limited()) {
+        place_opts.budget = &place_budget;
+    }
+    const GlobalPlacement global = place_global(placed_netlist, region, place_opts);
     DetailedPlacement detailed = legalize_rows(view.netlist, global);
     improve_rows(view.netlist, detailed);
+    {
+        StageDiagnostics& pd = diag.stage("placement");
+        pd.elapsed_ms += ms_since(t0);
+        if (global.budget_exhausted) {
+            pd.state = StageState::Degraded;
+            pd.note = "placement budget exhausted; kept best-effort positions (" +
+                      place_budget.describe() + ")";
+        } else if (pd.state == StageState::NotRun) {
+            pd.state = StageState::Ok;
+        }
+    }
     out.final_positions = detailed.positions;
     out.pad_positions = view.netlist.pad_positions;
 
-    const RouteResult routed =
-        route_global(view.netlist, detailed.positions, region, opts.router);
+    // ---- Routing stage, with the HPWL rung of the ladder: an injected
+    // router:overbudget fault or a flow budget already spent means routed
+    // metrics are unobtainable; estimate wirelength from the placement
+    // instead of aborting (flagged Degraded).
+    t0 = FlowClock::now();
+    StageBudget route_budget = derive_stage_budget(opts.budget.routing_ms, total);
+    RouterOptions router_opts = opts.router;
+    if (router_opts.budget == nullptr && route_budget.limited()) {
+        router_opts.budget = &route_budget;
+    }
+    bool hpwl_rung = false;
+    std::string rung_reason;
+    if (opts.recovery.allow_hpwl_metrics) {
+        if (fault_enabled("router", "overbudget")) {
+            hpwl_rung = true;
+            rung_reason = "injected fault router:overbudget";
+        } else if (total != nullptr && total->exhausted()) {
+            hpwl_rung = true;
+            rung_reason = "flow budget exhausted before routing (" + total->describe() + ")";
+        }
+    }
+    RouteResult routed;
+    if (hpwl_rung) {
+        routed.total_wirelength = total_hpwl(view.netlist, detailed.positions);
+        StageDiagnostics& rd = diag.stage("routing");
+        rd.elapsed_ms += ms_since(t0);
+        rd.state = StageState::Degraded;
+        rd.note = rung_reason + "; wirelength/chip-area are HPWL estimates, congestion unknown";
+    } else {
+        routed = route_global(view.netlist, detailed.positions, region, router_opts);
+        StageDiagnostics& rd = diag.stage("routing");
+        rd.elapsed_ms += ms_since(t0);
+        if (routed.budget_exhausted) {
+            rd.state = StageState::Degraded;
+            rd.note = "routing budget exhausted; refinement passes skipped (" +
+                      route_budget.describe() + ")";
+        } else if (rd.state == StageState::NotRun) {
+            rd.state = StageState::Ok;
+        }
+    }
+
     const ChipAreaEstimate chip =
         estimate_chip_area(view.netlist.total_cell_area(), routed, opts.chip);
+
+    t0 = FlowClock::now();
     const TimingReport timing =
         analyze_timing(mapped, lib, view, detailed.positions, opts.timing);
+    {
+        StageDiagnostics& td = diag.stage("timing");
+        td.elapsed_ms += ms_since(t0);
+        if (td.state == StageState::NotRun) td.state = StageState::Ok;
+    }
 
     if (opts.check != CheckLevel::Off) {
-        const MappedChecker mapped_checker(lib);
-        const PlacementChecker placement_checker;
-        CheckReport rep = mapped_checker.check(mapped);
-        rep.merge(placement_checker.check_global(placed_netlist, global));
-        rep.merge(placement_checker.check_detailed(view.netlist, detailed));
-        if (!pads.has_value()) {
-            // Caller-supplied pad rings are a geometry contract of their own:
-            // they may sit on the boundary of a *different* region (e.g. a
-            // fixed ring reused across two mappings), so after rescaling they
-            // need not land on this region's boundary. Only the ring this
-            // back end placed itself must satisfy the boundary invariant.
-            rep.merge(placement_checker.check_pads(view.netlist.pad_positions, region));
-        }
-        rep.merge(mapped_checker.check_timing(mapped, timing));
-        rep.throw_if_errors("run_backend");
+        LILY_RETURN_IF_ERROR(guarded_check([&] {
+            const MappedChecker mapped_checker(lib);
+            const PlacementChecker placement_checker;
+            CheckReport rep = mapped_checker.check(mapped);
+            rep.merge(placement_checker.check_global(placed_netlist, global));
+            rep.merge(placement_checker.check_detailed(view.netlist, detailed));
+            if (!pads.has_value()) {
+                // Caller-supplied pad rings are a geometry contract of their
+                // own: they may sit on the boundary of a *different* region
+                // (e.g. a fixed ring reused across two mappings), so after
+                // rescaling they need not land on this region's boundary.
+                // Only the ring this back end placed itself must satisfy the
+                // boundary invariant.
+                rep.merge(placement_checker.check_pads(view.netlist.pad_positions, region));
+            }
+            rep.merge(mapped_checker.check_timing(mapped, timing));
+            rep.throw_if_errors("run_backend");
+        }));
+        StageDiagnostics& cd = diag.stage("checks");
+        if (cd.state == StageState::NotRun) cd.state = StageState::Ok;
     }
 
     out.metrics.gate_count = mapped.gate_count();
@@ -142,70 +242,300 @@ FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const Fl
     out.metrics.wirelength = routed.total_wirelength;
     out.metrics.critical_delay = timing.critical_delay;
     out.metrics.max_congestion = routed.max_congestion;
+    out.diagnostics = std::move(diag);
     return out;
 }
 
-FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+}  // namespace
+
+StatusOr<FlowResult> run_backend_checked(const MappedNetlist& mapped, const Library& lib,
+                                         const FlowOptions& opts,
+                                         std::optional<PadsInRegion> pads,
+                                         std::optional<std::vector<Point>> seed_positions) {
+    StageBudget total(opts.budget.total_ms);
+    return backend_impl(mapped, lib, opts, std::move(pads), std::move(seed_positions),
+                        FlowDiagnostics{}, total.limited() ? &total : nullptr);
+}
+
+FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
+                       std::optional<PadsInRegion> pads,
+                       std::optional<std::vector<Point>> seed_positions) {
+    return run_backend_checked(mapped, lib, opts, std::move(pads), std::move(seed_positions))
+        .take_or_raise();
+}
+
+StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library& lib,
+                                               const FlowOptions& opts) {
     // Pipeline 1: map first (interconnect-blind), lay out afterwards. The
     // mapper cannot see pad locations — exactly the paper's remark that the
     // standard MIS pipeline "cannot make use of the location of pads".
-    const DecomposeResult sub = decompose(net, opts.decompose);
-    verify_subject(opts.check, sub.graph, net, "run_baseline_flow: decompose");
+    FlowDiagnostics diag;
+    StageBudget total(opts.budget.total_ms);
+    StageBudget* totalp = total.limited() ? &total : nullptr;
+
+    FlowClock::time_point t0 = FlowClock::now();
+    std::optional<DecomposeResult> sub;
+    try {
+        sub = decompose(net, opts.decompose);
+    } catch (const std::exception& e) {
+        return Status(StatusCode::Unsupported, e.what())
+            .with_context("run_baseline_flow: decompose");
+    }
+    {
+        StageDiagnostics& dd = diag.stage("decompose");
+        dd.elapsed_ms = ms_since(t0);
+        dd.state = StageState::Ok;
+    }
+    LILY_RETURN_IF_ERROR(guarded_check(
+        [&] { verify_subject(opts.check, sub->graph, net, "run_baseline_flow: decompose"); }));
+
+    t0 = FlowClock::now();
     BaseMapperOptions base = opts.base;
     base.objective = opts.objective;
     base.mode = effective_cover(opts);
-    const MapResult res = BaseMapper(lib).map(sub.graph, base);
-    verify_chosen_matches(opts.check, lib, sub.graph, res.solution,
-                          "run_baseline_flow: matches");
-    verify_mapped(opts.check, lib, res.netlist, net, "run_baseline_flow: mapping");
-    return run_backend(res.netlist, lib, opts);
+    std::optional<MapResult> res;
+    try {
+        res = BaseMapper(lib).map(sub->graph, base);
+    } catch (const std::exception& e) {
+        diag.stage("mapping").state = StageState::Failed;
+        return Status(StatusCode::Unsupported, e.what())
+            .with_context("run_baseline_flow: mapping");
+    }
+    {
+        StageDiagnostics& md = diag.stage("mapping");
+        md.elapsed_ms = ms_since(t0);
+        md.state = StageState::Ok;
+    }
+    LILY_RETURN_IF_ERROR(guarded_check([&] {
+        verify_chosen_matches(opts.check, lib, sub->graph, res->solution,
+                              "run_baseline_flow: matches");
+        verify_mapped(opts.check, lib, res->netlist, net, "run_baseline_flow: mapping");
+    }));
+    return backend_impl(res->netlist, lib, opts, std::nullopt, std::nullopt, std::move(diag),
+                        totalp);
 }
 
-FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+    return run_baseline_flow_checked(net, lib, opts).take_or_raise();
+}
+
+StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
+                                           const FlowOptions& opts) {
     // Pipeline 2: pads first, then placement-coupled mapping.
-    const DecomposeResult sub = decompose(net, opts.decompose);
-    verify_subject(opts.check, sub.graph, net, "run_lily_flow: decompose");
+    FlowDiagnostics diag;
+    StageBudget total(opts.budget.total_ms);
+    StageBudget* totalp = total.limited() ? &total : nullptr;
+
+    FlowClock::time_point t0 = FlowClock::now();
+    std::optional<DecomposeResult> sub;
+    try {
+        sub = decompose(net, opts.decompose);
+    } catch (const std::exception& e) {
+        return Status(StatusCode::Unsupported, e.what()).with_context("run_lily_flow: decompose");
+    }
+    {
+        StageDiagnostics& dd = diag.stage("decompose");
+        dd.elapsed_ms = ms_since(t0);
+        dd.state = StageState::Ok;
+    }
+    LILY_RETURN_IF_ERROR(guarded_check(
+        [&] { verify_subject(opts.check, sub->graph, net, "run_lily_flow: decompose"); }));
+
+    t0 = FlowClock::now();
     LilyOptions lily = opts.lily;
     lily.objective = opts.objective;
     lily.cover = effective_cover(opts);
+    StageBudget map_budget = derive_stage_budget(opts.budget.mapping_ms, totalp);
+    if (lily.budget == nullptr && map_budget.limited()) lily.budget = &map_budget;
     LilyMapper mapper(lib);
-    const LilyResult res = mapper.map(sub.graph, lily);
-    verify_chosen_matches(opts.check, lib, sub.graph, res.solution, "run_lily_flow: matches");
-    verify_mapped(opts.check, lib, res.netlist, net, "run_lily_flow: mapping");
-    if (opts.check != CheckLevel::Off) {
-        // The inchoate placement every wire estimate was drawn from, and
-        // the pre-mapping pad ring the back end will reuse.
-        const PlacementChecker placement_checker;
-        CheckReport rep =
-            placement_checker.check_positions(res.inchoate_placement.positions,
-                                              res.inchoate_placement.positions.size(),
-                                              res.inchoate_placement.region);
-        rep.merge(placement_checker.check_pads(res.pad_positions,
-                                               res.inchoate_placement.region));
-        rep.throw_if_errors("run_lily_flow: inchoate placement");
+    StatusOr<LilyResult> mapped = mapper.map_checked(sub->graph, lily);
+
+    if (!mapped.is_ok()) {
+        // ---- Ladder rung: the layout-driven mapping could not finish
+        // (placement divergence, matcher dead end). Fall back to the
+        // wire-blind baseline mapping of the same subject graph — the flow
+        // still delivers a correct netlist, just without layout-driven
+        // covers, and the diagnostics say so.
+        StageDiagnostics& md = diag.stage("mapping");
+        md.elapsed_ms = ms_since(t0);
+        if (!opts.recovery.allow_baseline_fallback) {
+            md.state = StageState::Failed;
+            Status bad = mapped.status();
+            return bad.with_context("run_lily_flow: mapping");
+        }
+        md.state = StageState::Recovered;
+        md.note = mapped.status().to_string() + "; fell back to wire-blind baseline mapping";
+        ++md.retries;
+
+        t0 = FlowClock::now();
+        BaseMapperOptions base = opts.base;
+        base.objective = opts.objective;
+        base.mode = effective_cover(opts);
+        std::optional<MapResult> fallback;
+        try {
+            fallback = BaseMapper(lib).map(sub->graph, base);
+        } catch (const std::exception& e) {
+            md.state = StageState::Failed;
+            return Status(StatusCode::Unsupported, e.what())
+                .with_context("run_lily_flow: baseline fallback");
+        }
+        diag.stage("mapping").elapsed_ms += ms_since(t0);
+        LILY_RETURN_IF_ERROR(guarded_check([&] {
+            verify_chosen_matches(opts.check, lib, sub->graph, fallback->solution,
+                                  "run_lily_flow: fallback matches");
+            verify_mapped(opts.check, lib, fallback->netlist, net,
+                          "run_lily_flow: fallback mapping");
+        }));
+        return backend_impl(fallback->netlist, lib, opts, std::nullopt, std::nullopt,
+                            std::move(diag), totalp);
     }
+
+    const LilyResult& res = mapped.value();
+    {
+        StageDiagnostics& md = diag.stage("mapping");
+        md.elapsed_ms = ms_since(t0);
+        if (res.budget_exhausted) {
+            md.state = StageState::Degraded;
+            md.note = "mapping budget exhausted; " + std::to_string(res.degraded_nodes) +
+                      " nodes covered with base gates only (" + map_budget.describe() + ")";
+        } else {
+            md.state = StageState::Ok;
+        }
+    }
+    LILY_RETURN_IF_ERROR(guarded_check([&] {
+        verify_chosen_matches(opts.check, lib, sub->graph, res.solution,
+                              "run_lily_flow: matches");
+        verify_mapped(opts.check, lib, res.netlist, net, "run_lily_flow: mapping");
+        if (opts.check != CheckLevel::Off) {
+            // The inchoate placement every wire estimate was drawn from, and
+            // the pre-mapping pad ring the back end will reuse.
+            const PlacementChecker placement_checker;
+            CheckReport rep =
+                placement_checker.check_positions(res.inchoate_placement.positions,
+                                                  res.inchoate_placement.positions.size(),
+                                                  res.inchoate_placement.region);
+            rep.merge(placement_checker.check_pads(res.pad_positions,
+                                                   res.inchoate_placement.region));
+            rep.throw_if_errors("run_lily_flow: inchoate placement");
+        }
+    }));
 
     // Reuse the pre-mapping pad assignment for the back end; the pad ring
     // was chosen on the inchoate region, so pass that region for rescaling.
     PadsInRegion pads{res.pad_positions, res.inchoate_placement.region};
-    return run_backend(res.netlist, lib, opts, std::move(pads), res.instance_positions);
+    return backend_impl(res.netlist, lib, opts, std::move(pads), res.instance_positions,
+                        std::move(diag), totalp);
+}
+
+FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
+    return run_lily_flow_checked(net, lib, opts).take_or_raise();
+}
+
+StatusOr<FlowResult> run_lily_flow_adaptive_checked(const Network& net, const Library& lib,
+                                                    const FlowOptions& opts,
+                                                    double reference_wirelength) {
+    LILY_ASSIGN_OR_RETURN(FlowResult best, run_lily_flow_checked(net, lib, opts));
+    double reference = reference_wirelength;
+    if (reference <= 0.0) {
+        LILY_ASSIGN_OR_RETURN(FlowResult base, run_baseline_flow_checked(net, lib, opts));
+        reference = base.metrics.wirelength;
+    }
+    if (best.metrics.wirelength <= reference) return best;
+
+    // Section 5 remedy, generalized by RecoveryPolicy: re-run with the wire
+    // weight scaled down, keeping the best attempt.
+    FlowOptions retry = opts;
+    const std::size_t tries =
+        std::min(opts.recovery.max_retries, opts.recovery.wire_weight_scale.size());
+    std::size_t attempted = 0;
+    for (std::size_t i = 0; i < tries; ++i) {
+        retry.lily.wire_weight = opts.lily.wire_weight * opts.recovery.wire_weight_scale[i];
+        StatusOr<FlowResult> attempt = run_lily_flow_checked(net, lib, retry);
+        if (!attempt.is_ok()) continue;  // retries are best-effort; keep what we have
+        ++attempted;
+        if (attempt.value().metrics.wirelength < best.metrics.wirelength) {
+            best = std::move(attempt).value();
+        }
+        if (best.metrics.wirelength <= reference) break;
+    }
+    if (attempted > 0) {
+        StageDiagnostics& ad = best.diagnostics.stage("adaptive");
+        ad.state = StageState::Degraded;
+        ad.retries = attempted;
+        ad.note = "wirelength above reference; re-mapped with reduced wire weights";
+    }
+    return best;
 }
 
 FlowResult run_lily_flow_adaptive(const Network& net, const Library& lib,
                                   const FlowOptions& opts, double reference_wirelength) {
-    FlowResult best = run_lily_flow(net, lib, opts);
-    double reference = reference_wirelength;
-    if (reference <= 0.0) reference = run_baseline_flow(net, lib, opts).metrics.wirelength;
-    if (best.metrics.wirelength <= reference) return best;
+    return run_lily_flow_adaptive_checked(net, lib, opts, reference_wirelength).take_or_raise();
+}
 
-    FlowOptions retry = opts;
-    for (const double weight : {opts.lily.wire_weight / 4.0, 0.0}) {
-        retry.lily.wire_weight = weight;
-        FlowResult attempt = run_lily_flow(net, lib, retry);
-        if (attempt.metrics.wirelength < best.metrics.wirelength) best = std::move(attempt);
-        if (best.metrics.wirelength <= reference) break;
+StatusOr<FlowResult> run_flow_from_files(const std::string& blif_path,
+                                         const std::string& genlib_path,
+                                         const FlowOptions& opts, FlowKind kind) {
+    FlowDiagnostics diag;
+
+    FlowClock::time_point t0 = FlowClock::now();
+    StatusOr<Library> lib = read_genlib_file_checked(genlib_path);
+    {
+        StageDiagnostics& s = diag.stage("parse-genlib");
+        s.elapsed_ms = ms_since(t0);
+        if (!lib.is_ok()) {
+            s.state = StageState::Failed;
+            s.note = lib.status().to_string();
+            Status bad = lib.status();
+            return bad.with_context("run_flow_from_files");
+        }
+        const auto& skipped = lib.value().skipped_gates();
+        if (!skipped.empty()) {
+            s.state = StageState::Degraded;
+            s.note = std::to_string(skipped.size()) + " gate(s) skipped:";
+            for (const Library::SkippedGate& g : skipped) {
+                s.note += " " + g.name + " (" + g.reason + ")";
+            }
+        } else {
+            s.state = StageState::Ok;
+        }
     }
-    return best;
+    LILY_RETURN_IF_ERROR(guarded_check([&] { lib.value().validate(); })
+                             .with_context("run_flow_from_files: library validation"));
+
+    t0 = FlowClock::now();
+    StatusOr<Network> net = read_blif_file_checked(blif_path);
+    {
+        StageDiagnostics& s = diag.stage("parse-blif");
+        s.elapsed_ms = ms_since(t0);
+        if (!net.is_ok()) {
+            s.state = StageState::Failed;
+            s.note = net.status().to_string();
+            Status bad = net.status();
+            return bad.with_context("run_flow_from_files");
+        }
+        s.state = StageState::Ok;
+    }
+
+    StatusOr<FlowResult> result = [&]() -> StatusOr<FlowResult> {
+        switch (kind) {
+            case FlowKind::Baseline:
+                return run_baseline_flow_checked(net.value(), lib.value(), opts);
+            case FlowKind::Adaptive:
+                return run_lily_flow_adaptive_checked(net.value(), lib.value(), opts);
+            case FlowKind::Lily:
+                break;
+        }
+        return run_lily_flow_checked(net.value(), lib.value(), opts);
+    }();
+    if (!result.is_ok()) {
+        Status bad = result.status();
+        return bad.with_context("run_flow_from_files");
+    }
+    FlowResult out = std::move(result).value();
+    // Prepend the parse stages so the record reads in pipeline order.
+    for (StageDiagnostics& s : out.diagnostics.stages) diag.stages.push_back(std::move(s));
+    out.diagnostics = std::move(diag);
+    return out;
 }
 
 }  // namespace lily

@@ -18,12 +18,15 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "flow/diagnostics.hpp"
 #include "lily/lily_mapper.hpp"
 #include "subject/decompose.hpp"
 #include "map/base_mapper.hpp"
 #include "route/chip_area.hpp"
 #include "route/global_router.hpp"
 #include "sta/timing.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
@@ -32,6 +35,39 @@ namespace lily {
 /// sqrt(0.001 mm^2) ~ 0.0316 mm.
 inline constexpr double kAreaUnitMm2 = 0.001;
 inline constexpr double kLengthUnitMm = 0.0316227766;
+
+/// Wall-clock budgets for the expensive stages, in milliseconds; 0 leaves a
+/// dimension unlimited. `total_ms` caps the whole flow (per-stage budgets
+/// are intersected with what remains of it) and defaults to LILY_BUDGET_MS
+/// from the environment. Exhaustion never aborts the flow: stages hand back
+/// best-effort partial results and FlowDiagnostics records the degradation.
+struct FlowBudget {
+    double total_ms = budget_ms_from_env();
+    double placement_ms = 0.0;
+    double mapping_ms = 0.0;
+    double routing_ms = 0.0;
+
+    bool unlimited() const {
+        return total_ms <= 0.0 && placement_ms <= 0.0 && mapping_ms <= 0.0 && routing_ms <= 0.0;
+    }
+};
+
+/// The graceful-degradation ladder's knobs (Section 5's "repeat the mapping
+/// with reduced wire cost weight" generalized). Scales apply to
+/// LilyOptions::wire_weight in order; the defaults reproduce the historical
+/// adaptive schedule (weight/4, then 0).
+struct RecoveryPolicy {
+    std::size_t max_retries = 2;
+    std::vector<double> wire_weight_scale = {0.25, 0.0};
+    /// Rung: Lily mapping failure (placement divergence, matcher dead end)
+    /// falls back to the wire-blind baseline mapper on the same subject
+    /// graph instead of failing the flow.
+    bool allow_baseline_fallback = true;
+    /// Rung: routing budget exhaustion (or the router:overbudget fault)
+    /// reports HPWL-estimated wirelength/chip-area instead of routed
+    /// metrics, flagged in FlowDiagnostics.
+    bool allow_hpwl_metrics = true;
+};
 
 struct FlowOptions {
     MapObjective objective = MapObjective::Area;
@@ -56,6 +92,10 @@ struct FlowOptions {
     /// LILY_CHECK_LEVEL environment variable (off when unset), so test and
     /// CI runs can turn the whole pipeline paranoid without code changes.
     CheckLevel check = check_level_from_env();
+    /// Per-stage wall-clock budgets (default: LILY_BUDGET_MS or unlimited).
+    FlowBudget budget;
+    /// Fallback/retry behavior when a stage fails or runs out of budget.
+    RecoveryPolicy recovery;
 };
 
 struct FlowMetrics {
@@ -77,13 +117,29 @@ struct FlowResult {
     std::vector<Point> final_positions;  // detailed placement (per instance)
     std::vector<Point> pad_positions;    // I/O pads in the region frame
     Rect region;
+    /// Per-stage outcome record: which stages ran, timings, retries, and
+    /// which degradation rungs fired. diagnostics.degraded() distinguishes
+    /// a clean run from a best-effort one.
+    FlowDiagnostics diagnostics;
 };
 
-/// Pipeline 1: interconnect-blind mapping, layout afterwards.
+/// Pipeline 1: interconnect-blind mapping, layout afterwards (Status form).
+StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library& lib,
+                                               const FlowOptions& opts = {});
+
+/// Pipeline 1, throwing wrapper.
 FlowResult run_baseline_flow(const Network& net, const Library& lib,
                              const FlowOptions& opts = {});
 
-/// Pipeline 2: layout-driven (Lily) mapping.
+/// Pipeline 2: layout-driven (Lily) mapping, with the graceful-degradation
+/// ladder (Status form). A Lily mapping failure falls back to the wire-blind
+/// baseline mapping; routing budget exhaustion falls back to HPWL metrics;
+/// both are recorded in FlowResult::diagnostics. A non-OK return means no
+/// rung of the ladder could produce a usable result.
+StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
+                                           const FlowOptions& opts = {});
+
+/// Pipeline 2, throwing wrapper.
 FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts = {});
 
 /// The paper's Section 5 remedy for circuits where the dynamic wire length
@@ -92,6 +148,14 @@ FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptio
 /// compares its routed wirelength against `reference_wirelength` (pass the
 /// baseline pipeline's result; 0 runs the baseline internally), and retries
 /// with the wire weight quartered and then zeroed, keeping the best run.
+/// The retry schedule comes from FlowOptions::recovery (max_retries,
+/// wire_weight_scale); retries are recorded in the "adaptive" stage of the
+/// winning run's diagnostics.
+StatusOr<FlowResult> run_lily_flow_adaptive_checked(const Network& net, const Library& lib,
+                                                    const FlowOptions& opts = {},
+                                                    double reference_wirelength = 0.0);
+
+/// Throwing wrapper for the adaptive pipeline.
 FlowResult run_lily_flow_adaptive(const Network& net, const Library& lib,
                                   const FlowOptions& opts = {},
                                   double reference_wirelength = 0.0);
@@ -113,5 +177,24 @@ struct PadsInRegion {
 FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
                        std::optional<PadsInRegion> pads = std::nullopt,
                        std::optional<std::vector<Point>> seed_positions = std::nullopt);
+
+/// Status form of run_backend (diagnostics carried on the result).
+StatusOr<FlowResult> run_backend_checked(
+    const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
+    std::optional<PadsInRegion> pads = std::nullopt,
+    std::optional<std::vector<Point>> seed_positions = std::nullopt);
+
+/// Which pipeline run_flow_from_files drives.
+enum class FlowKind : std::uint8_t { Baseline, Lily, Adaptive };
+
+/// File-to-metrics convenience entry: parse the genlib library and the BLIF
+/// netlist (both recorded as flow stages, including gates the library
+/// loader skipped), validate, and run the selected pipeline. Parse errors
+/// surface as StatusCode::ParseError with file/line context instead of
+/// exceptions, so tools can report them and move on to the next input.
+StatusOr<FlowResult> run_flow_from_files(const std::string& blif_path,
+                                         const std::string& genlib_path,
+                                         const FlowOptions& opts = {},
+                                         FlowKind kind = FlowKind::Lily);
 
 }  // namespace lily

@@ -154,18 +154,30 @@ private:
 
 }  // namespace
 
-ParsedEquation parse_equation(std::string_view text) {
+StatusOr<ParsedEquation> parse_equation_checked(std::string_view text) {
     const auto eq = text.find('=');
-    if (eq == std::string_view::npos) throw std::runtime_error("equation: missing '='");
+    if (eq == std::string_view::npos) {
+        return Status(StatusCode::ParseError, "equation: missing '='");
+    }
     ParsedEquation out;
     std::string_view lhs = text.substr(0, eq);
     while (!lhs.empty() && std::isspace(static_cast<unsigned char>(lhs.back()))) lhs.remove_suffix(1);
     while (!lhs.empty() && std::isspace(static_cast<unsigned char>(lhs.front()))) lhs.remove_prefix(1);
-    if (lhs.empty()) throw std::runtime_error("equation: empty output name");
+    if (lhs.empty()) return Status(StatusCode::ParseError, "equation: empty output name");
     out.output = std::string(lhs);
     EquationParser parser(text.substr(eq + 1), out.input_names);
-    out.expr = parser.parse();
+    // The recursive-descent core reports via exception; fold it into the
+    // Status channel here so callers see one error style.
+    try {
+        out.expr = parser.parse();
+    } catch (const std::runtime_error& e) {
+        return Status(StatusCode::ParseError, e.what());
+    }
     return out;
+}
+
+ParsedEquation parse_equation(std::string_view text) {
+    return parse_equation_checked(text).take_or_raise();
 }
 
 bool eval_expr(const Expr& e, std::uint64_t assignment) {
@@ -217,8 +229,12 @@ unsigned expr_var_count(const Expr& e) {
 
 std::string expr_to_string(const Expr& e, std::span<const std::string> names) {
     switch (e.kind) {
-        case ExprKind::Var:
-            return e.var < names.size() ? names[e.var] : "v" + std::to_string(e.var);
+        case ExprKind::Var: {
+            if (e.var < names.size()) return names[e.var];
+            std::string anon = "v";
+            anon += std::to_string(e.var);
+            return anon;
+        }
         case ExprKind::Not:
             return "!(" + expr_to_string(*e.kids[0], names) + ")";
         case ExprKind::Const0:

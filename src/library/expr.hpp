@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "netlist/sop.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
@@ -40,8 +41,11 @@ struct ParsedEquation {
 };
 
 /// Parse a genlib equation right-hand side. Pin names are assigned variable
-/// indices in order of first appearance. Throws std::runtime_error on
-/// malformed input.
+/// indices in order of first appearance. Returns StatusCode::ParseError
+/// (with the offending offset in the message) on malformed input.
+StatusOr<ParsedEquation> parse_equation_checked(std::string_view text);
+
+/// Throwing wrapper: std::runtime_error on malformed input.
 ParsedEquation parse_equation(std::string_view text);
 
 /// Evaluate under an assignment bit vector (bit i = variable i).

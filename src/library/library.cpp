@@ -1,10 +1,12 @@
 #include "library/library.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/text.hpp"
 
 namespace lily {
@@ -29,9 +31,11 @@ unsigned Library::max_gate_inputs() const {
     return m;
 }
 
-GateId Library::add_gate(std::string name, double area, const std::string& equation,
-                         std::vector<PinTiming> pin_specs, std::size_t max_patterns) {
-    ParsedEquation eq = parse_equation(equation);
+StatusOr<GateId> Library::add_gate_checked(std::string name, double area,
+                                           const std::string& equation,
+                                           std::vector<PinTiming> pin_specs,
+                                           std::size_t max_patterns) {
+    LILY_ASSIGN_OR_RETURN(ParsedEquation eq, parse_equation_checked(equation));
     Gate g;
     g.name = std::move(name);
     g.area = area;
@@ -39,7 +43,14 @@ GateId Library::add_gate(std::string name, double area, const std::string& equat
     g.expression = eq.expr;
     g.input_names = std::move(eq.input_names);
     const unsigned n = g.n_inputs();
-    if (n > 10) throw std::invalid_argument("library: gate '" + g.name + "' has too many inputs");
+    if (n > 10) {
+        // Unsupported (not ParseError): the statement is well-formed, the
+        // gate is just beyond the matcher's limits. Callers may skip it and
+        // keep loading the library.
+        return Status(StatusCode::Unsupported, "library: gate '" + g.name + "' has " +
+                                                   std::to_string(n) +
+                                                   " inputs (limit 10); gate skipped");
+    }
 
     // Resolve PIN lines: a single "*" pin expands to all inputs; otherwise
     // every input pin must be described.
@@ -60,20 +71,29 @@ GateId Library::add_gate(std::string name, double area, const std::string& equat
                 }
             }
             if (!matched) {
-                throw std::invalid_argument("library: gate '" + g.name + "' has PIN '" +
-                                            spec.name + "' not in its equation");
+                return Status(StatusCode::ParseError, "library: gate '" + g.name +
+                                                          "' has PIN '" + spec.name +
+                                                          "' not in its equation");
             }
         }
         for (unsigned i = 0; i < n; ++i) {
             if (!seen[i]) {
-                throw std::invalid_argument("library: gate '" + g.name + "' missing PIN for '" +
-                                            g.input_names[i] + "'");
+                return Status(StatusCode::ParseError, "library: gate '" + g.name +
+                                                          "' missing PIN for '" +
+                                                          g.input_names[i] + "'");
             }
         }
     }
 
     g.function = expr_truth_table(*g.expression, n);
-    g.patterns = generate_patterns(g.expression, n, max_patterns);
+    try {
+        g.patterns = generate_patterns(g.expression, n, max_patterns);
+    } catch (const std::invalid_argument& e) {
+        // Pattern enumeration refuses blocks wider than 12 children; like
+        // the >10-input guard this leaves the gate unusable but harmless.
+        return Status(StatusCode::Unsupported,
+                      "library: gate '" + g.name + "': " + e.what() + "; gate skipped");
+    }
 
     // Track the canonical base gates by function.
     const GateId id = static_cast<GateId>(gates_.size());
@@ -88,6 +108,12 @@ GateId Library::add_gate(std::string name, double area, const std::string& equat
     }
     gates_.push_back(std::move(g));
     return id;
+}
+
+GateId Library::add_gate(std::string name, double area, const std::string& equation,
+                         std::vector<PinTiming> pin_specs, std::size_t max_patterns) {
+    return add_gate_checked(std::move(name), area, equation, std::move(pin_specs), max_patterns)
+        .take_or_raise();
 }
 
 void Library::validate() const {
@@ -110,17 +136,26 @@ void Library::validate() const {
 
 namespace {
 
-PinPhase parse_phase(std::string_view tok, std::size_t line_no) {
+StatusOr<PinPhase> parse_phase(std::string_view tok, std::size_t line_no) {
     if (tok == "INV") return PinPhase::Inv;
     if (tok == "NONINV") return PinPhase::NonInv;
     if (tok == "UNKNOWN") return PinPhase::Unknown;
-    throw std::runtime_error("genlib:" + std::to_string(line_no) + ": bad pin phase '" +
-                             std::string(tok) + "'");
+    return Status::parse_error(line_no, "bad pin phase '" + std::string(tok) + "'", "genlib");
+}
+
+/// parse_double throws std::invalid_argument; fold into the Status channel.
+StatusOr<double> parse_field(std::string_view tok, std::string_view what,
+                             std::size_t line_no) {
+    try {
+        return parse_double(tok, what);
+    } catch (const std::invalid_argument& e) {
+        return Status::parse_error(line_no, e.what(), "genlib");
+    }
 }
 
 }  // namespace
 
-Library read_genlib(std::string_view text, std::string library_name) {
+StatusOr<Library> read_genlib_checked(std::string_view text, std::string library_name) {
     Library lib(std::move(library_name));
 
     // Tokenize into statements: GATE ... ; followed by PIN lines until the
@@ -160,12 +195,11 @@ Library read_genlib(std::string_view text, std::string library_name) {
         const auto toks = split_ws(sv);
         if (toks[0] == "GATE") {
             if (toks.size() < 4) {
-                throw std::runtime_error("genlib:" + std::to_string(line_no) +
-                                         ": GATE needs name, area, equation");
+                return Status::parse_error(line_no, "GATE needs name, area, equation", "genlib");
             }
             RawGate g;
             g.name = std::string(toks[1]);
-            g.area = parse_double(toks[2], "GATE area");
+            LILY_ASSIGN_OR_RETURN(g.area, parse_field(toks[2], "GATE area", line_no));
             g.line_no = line_no;
             // Everything after the area token is the equation (may continue
             // on later lines until ';').
@@ -193,48 +227,81 @@ Library read_genlib(std::string_view text, std::string library_name) {
             }
         } else if (toks[0] == "PIN") {
             if (current < 0) {
-                throw std::runtime_error("genlib:" + std::to_string(line_no) +
-                                         ": PIN outside a GATE");
+                return Status::parse_error(line_no, "PIN outside a GATE", "genlib");
             }
             if (toks.size() != 9) {
-                throw std::runtime_error("genlib:" + std::to_string(line_no) +
-                                         ": PIN needs 8 fields");
+                return Status::parse_error(line_no, "PIN needs 8 fields", "genlib");
             }
             PinTiming p;
             p.name = std::string(toks[1]);
-            p.phase = parse_phase(toks[2], line_no);
-            p.input_load = parse_double(toks[3], "PIN input-load");
-            p.max_load = parse_double(toks[4], "PIN max-load");
-            p.rise_block = parse_double(toks[5], "PIN rise-block");
-            p.rise_fanout = parse_double(toks[6], "PIN rise-fanout");
-            p.fall_block = parse_double(toks[7], "PIN fall-block");
-            p.fall_fanout = parse_double(toks[8], "PIN fall-fanout");
+            LILY_ASSIGN_OR_RETURN(p.phase, parse_phase(toks[2], line_no));
+            LILY_ASSIGN_OR_RETURN(p.input_load, parse_field(toks[3], "PIN input-load", line_no));
+            LILY_ASSIGN_OR_RETURN(p.max_load, parse_field(toks[4], "PIN max-load", line_no));
+            LILY_ASSIGN_OR_RETURN(p.rise_block, parse_field(toks[5], "PIN rise-block", line_no));
+            LILY_ASSIGN_OR_RETURN(p.rise_fanout,
+                                  parse_field(toks[6], "PIN rise-fanout", line_no));
+            LILY_ASSIGN_OR_RETURN(p.fall_block, parse_field(toks[7], "PIN fall-block", line_no));
+            LILY_ASSIGN_OR_RETURN(p.fall_fanout,
+                                  parse_field(toks[8], "PIN fall-fanout", line_no));
             raw[static_cast<std::size_t>(current)].pins.push_back(std::move(p));
         } else {
-            throw std::runtime_error("genlib:" + std::to_string(line_no) +
-                                     ": expected GATE or PIN, got '" + std::string(toks[0]) + "'");
+            return Status::parse_error(
+                line_no, "expected GATE or PIN, got '" + std::string(toks[0]) + "'", "genlib");
         }
     }
     if (!pending_equation.empty()) {
-        throw std::runtime_error("genlib: unterminated GATE equation (missing ';')");
+        return Status(StatusCode::ParseError,
+                      "genlib: unterminated GATE equation (missing ';')");
     }
 
-    for (RawGate& g : raw) {
-        try {
-            lib.add_gate(std::move(g.name), g.area, g.equation, std::move(g.pins));
-        } catch (const std::exception& e) {
-            throw std::runtime_error("genlib:" + std::to_string(g.line_no) + ": " + e.what());
+    // Deterministic fault hook: behave as if the widest gate tripped the
+    // fanin guard, exercising the skip-with-diagnostic path end to end.
+    std::ptrdiff_t injected_skip = -1;
+    if (fault_enabled("parser") && !raw.empty()) {
+        std::size_t widest = 0;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i].pins.size() > raw[widest].pins.size()) widest = i;
         }
+        injected_skip = static_cast<std::ptrdiff_t>(widest);
+    }
+
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        RawGate& g = raw[i];
+        if (static_cast<std::ptrdiff_t>(i) == injected_skip) {
+            lib.note_skipped(g.name, g.line_no,
+                             "injected fault parser:skip-gate (treated as over-fanin)");
+            continue;
+        }
+        const std::string gate_name = g.name;  // add_gate_checked consumes g.name
+        StatusOr<GateId> added =
+            lib.add_gate_checked(std::move(g.name), g.area, g.equation, std::move(g.pins));
+        if (added.is_ok()) continue;
+        if (added.status().code() == StatusCode::Unsupported) {
+            // Over-fanin gate: unusable, but the rest of the library is
+            // fine. Skip it with a diagnostic instead of aborting the load.
+            lib.note_skipped(gate_name, g.line_no, added.status().message());
+            continue;
+        }
+        Status bad = added.status();
+        return bad.with_context("genlib:" + std::to_string(g.line_no));
     }
     return lib;
 }
 
-Library read_genlib_file(const std::string& path) {
+Library read_genlib(std::string_view text, std::string library_name) {
+    return read_genlib_checked(text, std::move(library_name)).take_or_raise();
+}
+
+StatusOr<Library> read_genlib_file_checked(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("genlib: cannot open " + path);
+    if (!in) return Status(StatusCode::ParseError, "genlib: cannot open " + path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    return read_genlib(buf.str(), path);
+    return read_genlib_checked(buf.str(), path);
+}
+
+Library read_genlib_file(const std::string& path) {
+    return read_genlib_file_checked(path).take_or_raise();
 }
 
 }  // namespace lily

@@ -16,6 +16,7 @@
 
 #include "library/expr.hpp"
 #include "library/pattern.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
@@ -77,7 +78,30 @@ public:
 
     unsigned max_gate_inputs() const;
 
-    /// Add a gate (patterns are generated here). Returns its id.
+    /// A gate the genlib reader could not turn into a usable library entry
+    /// but that did not poison the rest of the library (e.g. fanin beyond
+    /// the matcher's limits). The library loads without it.
+    struct SkippedGate {
+        std::string name;
+        std::size_t line_no = 0;  // 0 when not from a text source
+        std::string reason;
+    };
+    const std::vector<SkippedGate>& skipped_gates() const { return skipped_; }
+    void note_skipped(std::string name, std::size_t line_no, std::string reason) {
+        skipped_.push_back({std::move(name), line_no, std::move(reason)});
+    }
+
+    /// Add a gate (patterns are generated here). Returns its id, or
+    /// StatusCode::Unsupported when the gate exceeds the matcher's fanin
+    /// limits (>10 equation inputs, or pattern enumeration blocks wider
+    /// than 12) — such gates can be skipped without invalidating the rest
+    /// of the library — and StatusCode::ParseError for malformed pin specs.
+    StatusOr<GateId> add_gate_checked(std::string name, double area,
+                                      const std::string& equation,
+                                      std::vector<PinTiming> pin_specs,
+                                      std::size_t max_patterns = 64);
+
+    /// Throwing wrapper around add_gate_checked (std::runtime_error).
     GateId add_gate(std::string name, double area, const std::string& equation,
                     std::vector<PinTiming> pin_specs, std::size_t max_patterns = 64);
 
@@ -89,15 +113,25 @@ public:
 private:
     std::string name_;
     std::vector<Gate> gates_;
+    std::vector<SkippedGate> skipped_;
     GateId inverter_ = kNullGate;
     GateId nand2_ = kNullGate;
 };
 
-/// Parse genlib text. Comments start with '#'. Throws std::runtime_error
-/// with a line number on malformed input.
+/// Parse genlib text. Comments start with '#'. Malformed statements yield
+/// StatusCode::ParseError with a line number. Gates whose fanin exceeds the
+/// matcher's limits are *skipped* — recorded in Library::skipped_gates(),
+/// with the rest of the library loading normally.
+StatusOr<Library> read_genlib_checked(std::string_view text,
+                                      std::string library_name = "genlib");
+
+/// Throwing wrapper: std::runtime_error with a line number.
 Library read_genlib(std::string_view text, std::string library_name = "genlib");
 
-/// Parse a genlib file from disk.
+/// Parse a genlib file from disk (Status form).
+StatusOr<Library> read_genlib_file_checked(const std::string& path);
+
+/// Throwing wrapper for file loads.
 Library read_genlib_file(const std::string& path);
 
 }  // namespace lily

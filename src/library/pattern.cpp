@@ -66,8 +66,11 @@ std::string shape(const PTree& t) {
 /// shape-tied children deterministically).
 std::string exact(const PTree& t) {
     switch (t.kind) {
-        case PatternKind::Input:
-            return "v" + std::to_string(t.var);
+        case PatternKind::Input: {
+            std::string v = "v";
+            v += std::to_string(t.var);
+            return v;
+        }
         case PatternKind::Inv:
             return "I(" + exact(*t.a) + ")";
         case PatternKind::Nand2: {
@@ -89,7 +92,8 @@ void renamed_walk(const PTree& t, std::map<unsigned, unsigned>& rename, std::str
         case PatternKind::Input: {
             const auto [it, fresh] = rename.emplace(t.var, static_cast<unsigned>(rename.size()));
             (void)fresh;
-            out += "v" + std::to_string(it->second);
+            out += "v";
+            out += std::to_string(it->second);
             break;
         }
         case PatternKind::Inv:
@@ -315,16 +319,23 @@ std::string PatternGraph::canonical() const {
         const auto& n = nodes[i];
         switch (n.kind) {
             case PatternKind::Input:
-                s[i] = "v" + std::to_string(n.var);
+                s[i] = "v";
+                s[i] += std::to_string(n.var);
                 break;
             case PatternKind::Inv:
-                s[i] = "I(" + s[static_cast<std::size_t>(n.child0)] + ")";
+                s[i] = "I(";
+                s[i] += s[static_cast<std::size_t>(n.child0)];
+                s[i] += ")";
                 break;
             case PatternKind::Nand2: {
                 std::string a = s[static_cast<std::size_t>(n.child0)];
                 std::string b = s[static_cast<std::size_t>(n.child1)];
                 if (b < a) std::swap(a, b);
-                s[i] = "N(" + a + "," + b + ")";
+                s[i] = "N(";
+                s[i] += a;
+                s[i] += ",";
+                s[i] += b;
+                s[i] += ")";
                 break;
             }
         }

@@ -1,9 +1,12 @@
 #include "lily/lily_mapper.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "util/fault.hpp"
 
 namespace lily {
 
@@ -217,8 +220,9 @@ RiseFallPair arrival_under_load(const Ctx& ctx, SubjectId vi, double c_load) {
 
 }  // namespace
 
-LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
-                           std::optional<std::vector<Point>> pad_positions) const {
+StatusOr<LilyResult> LilyMapper::map_checked(
+    const SubjectGraph& g, const LilyOptions& opts,
+    std::optional<std::vector<Point>> pad_positions) const {
     LilyResult result;
 
     // ---- Stage 0: pads + balanced global placement of the inchoate network.
@@ -228,10 +232,24 @@ LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
                                   ? std::move(*pad_positions)
                                   : place_pads(view.netlist, region);
     if (pads.size() != view.netlist.pad_positions.size()) {
-        throw std::invalid_argument("LilyMapper: wrong pad position count");
+        return Status(StatusCode::InvariantViolation, "LilyMapper: wrong pad position count");
     }
     view.netlist.pad_positions = pads;
-    GlobalPlacement inchoate = place_global(view.netlist, region, opts.placement);
+    GlobalPlacementOptions place_opts = opts.placement;
+    if (place_opts.budget == nullptr) place_opts.budget = opts.budget;
+    GlobalPlacement inchoate = place_global(view.netlist, region, place_opts);
+    if (inchoate.budget_exhausted) result.budget_exhausted = true;
+    bool diverged = fault_enabled("placement", "diverge");
+    for (const Point& p : inchoate.positions) {
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+            diverged = true;
+            break;
+        }
+    }
+    if (diverged) {
+        return Status(StatusCode::ConvergenceFailure,
+                      "LilyMapper: inchoate placement diverged (non-finite coordinates)");
+    }
 
     Ctx ctx{g,
             *lib_,
@@ -269,6 +287,12 @@ LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
     // ---- Stage 2: per-cone dynamic programming with layout costs.
     const bool delay_mode = opts.objective == MapObjective::Delay;
     std::size_t cones_since_replace = 0;
+    // Sticky once the stage budget fires: the rest of the nodes take the
+    // cheap path (base gates only, no wire-cost search) so the mapper still
+    // produces a legal cover instead of aborting.
+    bool degraded = false;
+    // Injected matcher failure: the first gate node sees an empty match list.
+    bool matcher_fault_pending = fault_enabled("matcher", "no-match");
 
     for (const std::size_t ci : order) {
         const Cone& cone = cones[ci];
@@ -278,20 +302,30 @@ LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
             if (ctx.state[v] != LifeState::Egg) continue;  // mapped in an earlier cone
             ctx.state[v] = LifeState::Nestling;
 
-            auto matches = matcher_.matches_at(g, v);
+            if (!degraded && opts.budget != nullptr && !opts.budget->tick()) {
+                degraded = true;
+                result.budget_exhausted = true;
+            }
+            if (degraded) ++result.degraded_nodes;
+
+            auto matches = matcher_.matches_at(g, v, /*base_only=*/degraded);
+            if (matcher_fault_pending) {
+                matches.clear();
+                matcher_fault_pending = false;
+            }
             LilyNodeSolution best;
             double best_key = std::numeric_limits<double>::max();
             for (Match& m : matches) {
                 if (opts.cover == CoverMode::Trees && !legal_in_tree_mode(g, m)) continue;
                 const Gate& gate = lib_->gate(m.gate);
-                const Point p = candidate_position(ctx, v, m);
+                const Point p = degraded ? ctx.place_pos[v] : candidate_position(ctx, v, m);
 
                 LilyNodeSolution cand;
                 cand.position = p;
                 double key;
-                if (!delay_mode) {
+                if (!delay_mode || degraded) {
                     cand.area_cost = gate.area;
-                    cand.local_wire = local_wire_cost(ctx, m, p);
+                    cand.local_wire = degraded ? 0.0 : local_wire_cost(ctx, m, p);
                     cand.wire_cost = cand.local_wire;
                     for (const SubjectId vi : m.inputs) {
                         cand.area_cost += ctx.sol[vi].area_cost;
@@ -355,7 +389,8 @@ LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
                 }
             }
             if (!best.has_match) {
-                throw std::runtime_error("LilyMapper: no match at node " + n.name);
+                return Status(StatusCode::Unsupported,
+                              "LilyMapper: no match at node " + n.name);
             }
             ctx.sol[v] = std::move(best);
         }
@@ -438,6 +473,11 @@ LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
     result.final_state = std::move(ctx.state);
     result.solution = std::move(ctx.sol);
     return result;
+}
+
+LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
+                           std::optional<std::vector<Point>> pad_positions) const {
+    return map_checked(g, opts, std::move(pad_positions)).take_or_raise();
 }
 
 }  // namespace lily

@@ -27,6 +27,8 @@
 #include "place/placement.hpp"
 #include "route/wire_models.hpp"
 #include "subject/cones.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
@@ -70,6 +72,13 @@ struct LilyOptions {
     double po_pad_load = 0.1;
 
     GlobalPlacementOptions placement;
+
+    /// Optional wall-clock/iteration budget for the mapping stage (also
+    /// threaded into the inchoate placement unless placement.budget is set
+    /// explicitly). When it runs out mid-mapping the remaining nodes are
+    /// covered with base gates only (INV/NAND2, no wire-cost search) — a
+    /// legal but degraded cover, flagged in LilyResult. Null = unlimited.
+    StageBudget* budget = nullptr;
 };
 
 /// Rise/fall pair (kept minimal to avoid an sta dependency cycle).
@@ -110,6 +119,10 @@ struct LilyResult {
     double estimated_wirelength = 0.0;  // sum of per-match wire costs used
     double worst_arrival = 0.0;         // delay mode
     std::size_t replacements = 0;       // how many mid-mapping re-placements ran
+    /// The stage budget fired mid-mapping; `degraded_nodes` subject nodes
+    /// were covered with base gates only (still a legal cover).
+    bool budget_exhausted = false;
+    std::size_t degraded_nodes = 0;
 };
 
 class LilyMapper {
@@ -118,7 +131,19 @@ public:
 
     /// Map the subject graph. Pad positions may be supplied (one per PI then
     /// per PO, the SubjectPlacementView convention); if absent they are
-    /// chosen by the connectivity-driven pad placer.
+    /// chosen by the connectivity-driven pad placer. Errors:
+    ///   InvariantViolation  wrong pad position count;
+    ///   ConvergenceFailure  the inchoate placement produced non-finite
+    ///                       coordinates (or the placement:diverge fault is
+    ///                       active) — callers can fall back to a wire-blind
+    ///                       baseline mapping;
+    ///   Unsupported         some node has no matching gate (matcher:no-match
+    ///                       fault, or a library without usable base gates).
+    StatusOr<LilyResult> map_checked(
+        const SubjectGraph& g, const LilyOptions& opts = {},
+        std::optional<std::vector<Point>> pad_positions = std::nullopt) const;
+
+    /// Throwing wrapper around map_checked.
     LilyResult map(const SubjectGraph& g, const LilyOptions& opts = {},
                    std::optional<std::vector<Point>> pad_positions = std::nullopt) const;
 

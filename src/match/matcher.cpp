@@ -62,10 +62,12 @@ bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, S
 
 }  // namespace
 
-std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v) const {
+std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
+                                       bool base_only) const {
     std::vector<Match> out;
     if (g.node(v).kind == SubjectKind::Input) return out;
     for (GateId gid = 0; gid < lib_->size(); ++gid) {
+        if (base_only && gid != lib_->inverter() && gid != lib_->nand2()) continue;
         const Gate& gate = lib_->gate(gid);
         for (std::uint32_t pi = 0; pi < gate.patterns.size(); ++pi) {
             const PatternGraph& pat = gate.patterns[pi];

@@ -36,7 +36,13 @@ public:
 
     /// All matches rooted at `v` (empty for Input nodes). Always non-empty
     /// for gate nodes when the library holds the base functions.
-    std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v) const;
+    ///
+    /// `base_only` restricts the search to the canonical INV/NAND2 gates —
+    /// the cheap degraded mode the Lily mapper drops into when its stage
+    /// budget exhausts: every subject node trivially matches one of the two
+    /// base gates, so a legal (if unoptimized) cover always completes.
+    std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v,
+                                  bool base_only = false) const;
 
     const Library& library() const { return *lib_; }
 

@@ -17,11 +17,11 @@ struct NamesEntry {
     std::size_t line_no = 0;
 };
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-    throw std::runtime_error("blif:" + std::to_string(line) + ": " + msg);
+Status fail(std::size_t line, const std::string& msg) {
+    return Status::parse_error(line, msg, "blif");
 }
 
-Sop cubes_to_sop(const NamesEntry& e, std::size_t n_in) {
+StatusOr<Sop> cubes_to_sop(const NamesEntry& e, std::size_t n_in) {
     Sop sop;
     int output_value = -1;  // all cube lines must agree (on-set or off-set)
     for (const std::string& line : e.cube_lines) {
@@ -29,19 +29,21 @@ Sop cubes_to_sop(const NamesEntry& e, std::size_t n_in) {
         std::string_view pattern;
         std::string_view out_tok;
         if (n_in == 0) {
-            if (toks.size() != 1) fail(e.line_no, "constant table row must be a single 0/1");
+            if (toks.size() != 1) {
+                return fail(e.line_no, "constant table row must be a single 0/1");
+            }
             pattern = "";
             out_tok = toks[0];
         } else {
-            if (toks.size() != 2) fail(e.line_no, "cube row must be <pattern> <output>");
+            if (toks.size() != 2) return fail(e.line_no, "cube row must be <pattern> <output>");
             pattern = toks[0];
             out_tok = toks[1];
         }
-        if (pattern.size() != n_in) fail(e.line_no, "cube width does not match input count");
-        if (out_tok != "0" && out_tok != "1") fail(e.line_no, "cube output must be 0 or 1");
+        if (pattern.size() != n_in) return fail(e.line_no, "cube width does not match input count");
+        if (out_tok != "0" && out_tok != "1") return fail(e.line_no, "cube output must be 0 or 1");
         const int v = out_tok == "1" ? 1 : 0;
         if (output_value == -1) output_value = v;
-        if (output_value != v) fail(e.line_no, "mixed on-set/off-set rows in one .names");
+        if (output_value != v) return fail(e.line_no, "mixed on-set/off-set rows in one .names");
 
         Cube c;
         for (std::size_t i = 0; i < n_in; ++i) {
@@ -56,7 +58,7 @@ Sop cubes_to_sop(const NamesEntry& e, std::size_t n_in) {
                 case '-':
                     break;
                 default:
-                    fail(e.line_no, "cube characters must be 0, 1 or -");
+                    return fail(e.line_no, "cube characters must be 0, 1 or -");
             }
         }
         sop.cubes.push_back(c);
@@ -67,9 +69,10 @@ Sop cubes_to_sop(const NamesEntry& e, std::size_t n_in) {
 
 }  // namespace
 
-Network read_blif(std::string_view text) {
+StatusOr<Network> read_blif_checked(std::string_view text) {
     // Pass 1: join continuations, strip comments, tokenize into logical lines.
     std::vector<std::pair<std::size_t, std::string>> lines;
+    std::size_t last_line_no = 0;
     {
         std::string pending;
         std::size_t pending_start = 0;
@@ -97,17 +100,18 @@ Network read_blif(std::string_view text) {
             }
         }
         if (!pending.empty()) lines.emplace_back(pending_start, std::move(pending));
+        last_line_no = line_no;
     }
 
     std::string model_name = "top";
     std::vector<std::string> input_names;
-    std::vector<std::string> output_names;
+    std::vector<std::pair<std::string, std::size_t>> output_names;  // name, line
     std::vector<NamesEntry> entries;
     bool ended = false;
 
     for (std::size_t li = 0; li < lines.size(); ++li) {
         const auto& [line_no, line] = lines[li];
-        if (ended) fail(line_no, "content after .end");
+        if (ended) return fail(line_no, "content after .end");
         const auto toks = split_ws(line);
         const std::string_view head = toks[0];
         if (head == ".model") {
@@ -115,9 +119,11 @@ Network read_blif(std::string_view text) {
         } else if (head == ".inputs") {
             for (std::size_t i = 1; i < toks.size(); ++i) input_names.emplace_back(toks[i]);
         } else if (head == ".outputs") {
-            for (std::size_t i = 1; i < toks.size(); ++i) output_names.emplace_back(toks[i]);
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                output_names.emplace_back(std::string(toks[i]), line_no);
+            }
         } else if (head == ".names") {
-            if (toks.size() < 2) fail(line_no, ".names needs at least an output signal");
+            if (toks.size() < 2) return fail(line_no, ".names needs at least an output signal");
             NamesEntry e;
             e.line_no = line_no;
             for (std::size_t i = 1; i < toks.size(); ++i) e.signals.emplace_back(toks[i]);
@@ -128,13 +134,28 @@ Network read_blif(std::string_view text) {
             entries.push_back(std::move(e));
         } else if (head == ".end") {
             ended = true;
-        } else if (head == ".latch" || head == ".subckt" || head == ".gate" || head == ".mlatch") {
-            fail(line_no, std::string(head) + " is outside the combinational BLIF subset");
+        } else if (head == ".latch" || head == ".mlatch") {
+            // Sequential elements are outside the combinational scope; a
+            // latch feeding itself is additionally self-referential, which
+            // deserves its own message (it is a common symptom of a netlist
+            // written for a different tool's .latch field order).
+            if (toks.size() >= 3 && toks[1] == toks[2]) {
+                return fail(line_no, "self-referential latch '" + std::string(toks[1]) +
+                                         "' (input drives its own output)");
+            }
+            return fail(line_no,
+                        std::string(head) + " is outside the combinational BLIF subset");
+        } else if (head == ".subckt" || head == ".gate") {
+            return fail(line_no,
+                        std::string(head) + " is outside the combinational BLIF subset");
         } else if (head[0] == '.') {
             // Unknown directives (.default_input_arrival etc.) are ignored.
         } else {
-            fail(line_no, "table row outside a .names block");
+            return fail(line_no, "table row outside a .names block");
         }
+    }
+    if (!ended) {
+        return fail(last_line_no, "truncated input: missing .end");
     }
 
     Network net(model_name);
@@ -145,9 +166,12 @@ Network read_blif(std::string_view text) {
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const std::string& out = entries[i].signals.back();
         if (!producer.emplace(out, i).second) {
-            fail(entries[i].line_no, "signal '" + out + "' defined twice");
+            return fail(entries[i].line_no,
+                        "signal '" + out + "' defined twice (duplicate .names driver)");
         }
-        if (net.find_node(out)) fail(entries[i].line_no, "signal '" + out + "' is an input");
+        if (net.find_node(out)) {
+            return fail(entries[i].line_no, "signal '" + out + "' is an input");
+        }
     }
     std::vector<int> state(entries.size(), 0);  // 0 new, 1 visiting, 2 done
     std::vector<std::size_t> order;
@@ -164,7 +188,7 @@ Network read_blif(std::string_view text) {
                 const auto it = producer.find(sigs[next]);
                 ++next;
                 if (it == producer.end()) continue;  // PI or missing (checked later)
-                if (state[it->second] == 1) fail(entries[e].line_no, "combinational cycle");
+                if (state[it->second] == 1) return fail(entries[e].line_no, "combinational cycle");
                 if (state[it->second] == 0) {
                     state[it->second] = 1;
                     stack.emplace_back(it->second, 0);
@@ -185,28 +209,48 @@ Network read_blif(std::string_view text) {
         std::vector<NodeId> fanins;
         for (std::size_t i = 0; i + 1 < e.signals.size(); ++i) {
             const auto id = net.find_node(e.signals[i]);
-            if (!id) fail(e.line_no, "signal '" + e.signals[i] + "' is never defined");
+            if (!id) return fail(e.line_no, "signal '" + e.signals[i] + "' is never defined");
             fanins.push_back(*id);
         }
-        Sop sop = cubes_to_sop(e, fanins.size());
+        LILY_ASSIGN_OR_RETURN(Sop sop, cubes_to_sop(e, fanins.size()));
         net.add_node(e.signals.back(), std::move(fanins), std::move(sop));
     }
 
-    for (const std::string& po : output_names) {
+    for (const auto& [po, po_line] : output_names) {
         const auto id = net.find_node(po);
-        if (!id) throw std::runtime_error("blif: output '" + po + "' is never defined");
+        if (!id) return fail(po_line, "output '" + po + "' is never defined");
         net.add_output(po, *id);
     }
-    net.check();
+    // check() enforces structural invariants that should hold for anything
+    // the parser accepted; a failure here is an internal inconsistency, not
+    // a syntax error.
+    try {
+        net.check();
+    } catch (const std::exception& e) {
+        return Status(StatusCode::InvariantViolation, std::string("blif: ") + e.what());
+    }
+    return net;
+}
+
+Network read_blif(std::string_view text) {
+    return read_blif_checked(text).take_or_raise();
+}
+
+StatusOr<Network> read_blif_file_checked(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status(StatusCode::ParseError, "blif: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    StatusOr<Network> net = read_blif_checked(buf.str());
+    if (!net.is_ok()) {
+        Status bad = net.status();
+        return bad.with_context(path);
+    }
     return net;
 }
 
 Network read_blif_file(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) throw std::runtime_error("blif: cannot open " + path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return read_blif(buf.str());
+    return read_blif_file_checked(path).take_or_raise();
 }
 
 std::string write_blif(const Network& net) {

@@ -10,15 +10,26 @@
 #include <string_view>
 
 #include "netlist/network.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
-/// Parse a BLIF document from a string. Throws std::runtime_error with a
-/// line number on malformed input. Latches and subcircuits are rejected
-/// (combinational-only scope, as in the paper).
+/// Parse a BLIF document from a string. Malformed input yields
+/// StatusCode::ParseError with a line number ("blif:LINE: ..."); a netlist
+/// that parses but violates network invariants yields
+/// StatusCode::InvariantViolation. Latches and subcircuits are rejected
+/// (combinational-only scope, as in the paper), and a missing `.end`
+/// terminator is treated as truncated input.
+StatusOr<Network> read_blif_checked(std::string_view text);
+
+/// Throwing wrapper: std::runtime_error with a line number on malformed
+/// input.
 Network read_blif(std::string_view text);
 
-/// Parse from a file path.
+/// Parse from a file path (Status form).
+StatusOr<Network> read_blif_file_checked(const std::string& path);
+
+/// Throwing wrapper for file loads.
 Network read_blif_file(const std::string& path);
 
 /// Serialize; the output round-trips through read_blif.

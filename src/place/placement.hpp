@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/geometry.hpp"
 
 namespace lily {
@@ -42,12 +43,20 @@ struct GlobalPlacementOptions {
     double anchor_weight = 0.02;
     double cg_tolerance = 1e-9;
     std::size_t cg_max_iters = 2000;
+    /// Optional stage budget (non-owning; must outlive the call). On
+    /// exhaustion the partitioner stops refining and the CG solver returns
+    /// its partial iterate — the result is coarser but still a legal
+    /// placement. Null = unlimited (bit-identical to the unbudgeted path).
+    StageBudget* budget = nullptr;
 };
 
 struct GlobalPlacement {
     std::vector<Point> positions;  // one per cell
     Rect region;
     std::size_t partition_levels = 0;
+    /// True when the stage budget fired mid-placement and refinement was
+    /// cut short (positions are a best-effort partial result).
+    bool budget_exhausted = false;
 };
 
 /// Quadratic ("Euclidean distance squared", Section 3.1) global placement:

@@ -28,12 +28,13 @@ void PlacementNetlist::check() const {
 namespace {
 
 /// One quadratic solve: clique model with weight 2/k per pin pair, anchors
-/// as diagonal springs. Solves x and y independently.
-void solve_qp(const PlacementNetlist& nl, std::span<const Point> anchor_pos,
+/// as diagonal springs. Solves x and y independently. Returns false when
+/// the stage budget fired before both axes converged.
+bool solve_qp(const PlacementNetlist& nl, std::span<const Point> anchor_pos,
               std::span<const double> anchor_w, const GlobalPlacementOptions& opts,
               std::vector<Point>& positions) {
     const std::size_t n = nl.n_cells;
-    if (n == 0) return;
+    if (n == 0) return true;
 
     SparseMatrix::Builder builder(n);
     std::vector<double> bx(n, 0.0);
@@ -71,9 +72,12 @@ void solve_qp(const PlacementNetlist& nl, std::span<const Point> anchor_pos,
         x[c] = positions[c].x;
         y[c] = positions[c].y;
     }
-    conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters);
-    conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters);
+    const CgResult rx = conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters,
+                                           opts.budget);
+    const CgResult ry = conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters,
+                                           opts.budget);
     for (std::size_t c = 0; c < n; ++c) positions[c] = {x[c], y[c]};
+    return !rx.budget_exhausted && !ry.budget_exhausted;
 }
 
 struct Region {
@@ -91,7 +95,7 @@ GlobalPlacement place_quadratic(const PlacementNetlist& nl, const Rect& region,
     out.positions.assign(nl.n_cells, region.center());
     std::vector<Point> anchor_pos(nl.n_cells, region.center());
     std::vector<double> anchor_w(nl.n_cells, opts.anchor_weight * 1e-3);
-    solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
+    out.budget_exhausted = !solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
     return out;
 }
 
@@ -115,6 +119,12 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
     std::vector<double> anchor_w(nl.n_cells, 0.0);
 
     while (true) {
+        // Budget guard: stop refining and keep the coarser (still legal)
+        // placement from the previous level.
+        if (opts.budget != nullptr && opts.budget->exhausted()) {
+            out.budget_exhausted = true;
+            break;
+        }
         bool any_split = false;
         std::vector<Region> next;
         next.reserve(regions.size() * 2);
@@ -166,7 +176,10 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
                 anchor_w[c] = anchor;
             }
         }
-        solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
+        if (!solve_qp(nl, anchor_pos, anchor_w, opts, out.positions)) {
+            out.budget_exhausted = true;
+            break;
+        }
         anchor *= 2.0;  // firm up level by level
     }
 

@@ -155,7 +155,15 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         horiz_first[i] = choose(connections[i]) ? 1 : 0;
         commit(connections[i], horiz_first[i] != 0, +1.0);
     }
-    for (std::size_t pass = 0; pass < opts.reroute_passes; ++pass) {
+    const auto over_budget = [&] {
+        if (opts.budget != nullptr && opts.budget->exhausted()) {
+            res.budget_exhausted = true;
+            return true;
+        }
+        return false;
+    };
+
+    for (std::size_t pass = 0; pass < opts.reroute_passes && !over_budget(); ++pass) {
         bool changed = false;
         for (std::size_t i = 0; i < connections.size(); ++i) {
             commit(connections[i], horiz_first[i] != 0, -1.0);  // rip up
@@ -245,9 +253,10 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         return path;
     };
 
-    for (std::size_t pass = 0; pass < opts.maze_passes; ++pass) {
+    for (std::size_t pass = 0; pass < opts.maze_passes && !over_budget(); ++pass) {
         bool changed = false;
         for (std::size_t i = 0; i < connections.size(); ++i) {
+            if (over_budget()) break;  // keep remaining connections on their L
             if (!maze_path[i].empty()) continue;  // already detoured
             if (!l_touches_overflow(connections[i], horiz_first[i] != 0)) continue;
             commit(connections[i], horiz_first[i] != 0, -1.0);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "place/placement.hpp"
+#include "util/budget.hpp"
 #include "util/geometry.hpp"
 
 namespace lily {
@@ -27,6 +28,11 @@ struct RouterOptions {
     /// edges are ripped up and maze-routed (Dijkstra over congestion
     /// costs), allowing detours. 0 disables.
     std::size_t maze_passes = 1;
+    /// Optional stage budget (non-owning; must outlive the call). The
+    /// initial L-shape pass always completes so a full routing exists; on
+    /// exhaustion the rip-up and maze refinement passes are skipped and the
+    /// result is flagged. Null = unlimited.
+    StageBudget* budget = nullptr;
 };
 
 struct RouteResult {
@@ -35,6 +41,9 @@ struct RouteResult {
     double max_congestion = 0.0;    // peak usage / capacity
     double total_overflow = 0.0;    // sum of (usage - capacity)+ over edges
     std::size_t grid = 0;
+    /// True when the stage budget fired and refinement passes were skipped
+    /// (the wirelength/congestion picture is first-pass quality).
+    bool budget_exhausted = false;
     /// usage[d][x][y] flattened; d = 0 horizontal edges, 1 vertical edges.
     std::vector<double> h_usage;
     std::vector<double> v_usage;

@@ -1,0 +1,62 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/text.hpp"
+
+namespace lily {
+
+namespace {
+
+std::string& override_spec() {
+    static std::string spec;
+    return spec;
+}
+
+bool& override_active() {
+    static bool active = false;
+    return active;
+}
+
+std::string active_spec() {
+    if (override_active()) return override_spec();
+    const char* env = std::getenv("LILY_FAULT");
+    return env == nullptr ? std::string() : std::string(env);
+}
+
+/// Visit each "stage:kind" entry; kind is empty when omitted.
+template <typename Fn>
+bool any_entry(Fn&& match) {
+    const std::string spec = active_spec();
+    for (const std::string_view entry : split_char(spec, ',')) {
+        const std::string_view e = trim(entry);
+        if (e.empty()) continue;
+        const auto colon = e.find(':');
+        const std::string_view stage = colon == std::string_view::npos ? e : e.substr(0, colon);
+        const std::string_view kind =
+            colon == std::string_view::npos ? std::string_view() : e.substr(colon + 1);
+        if (match(stage, kind)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool fault_enabled(std::string_view stage) {
+    return any_entry([&](std::string_view s, std::string_view) { return s == stage; });
+}
+
+bool fault_enabled(std::string_view stage, std::string_view kind) {
+    return any_entry(
+        [&](std::string_view s, std::string_view k) { return s == stage && k == kind; });
+}
+
+void set_fault_spec(std::string spec) {
+    override_active() = true;
+    override_spec() = std::move(spec);
+    if (override_spec().empty()) override_active() = false;
+}
+
+std::string fault_spec() { return active_spec(); }
+
+}  // namespace lily

@@ -1,0 +1,39 @@
+// Deterministic fault injection for exercising the recovery ladder.
+//
+// A fault spec is "stage:kind[,stage:kind...]" and comes from either the
+// LILY_FAULT environment variable or set_fault_spec() (tests, lily_lint's
+// --inject). Stages probed by the pipeline:
+//
+//   parser:skip-gate      genlib reader treats the widest gate as over-fanin
+//                         (skipped with a diagnostic; library still loads)
+//   placement:diverge     the inchoate global placement reports
+//                         ConvergenceFailure (flow falls back to wire-blind
+//                         baseline mapping)
+//   matcher:no-match      the Lily DP finds no match at the first gate node
+//                         (flow falls back to wire-blind baseline mapping)
+//   router:overbudget     global routing behaves as if its budget were
+//                         already exhausted (metrics fall back to HPWL)
+//
+// Injection is read-only configuration: with no spec set, every probe is
+// false and the pipeline is byte-for-byte the unfaulted one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lily {
+
+/// True when the active spec lists `stage` (with any kind).
+bool fault_enabled(std::string_view stage);
+
+/// True when the active spec lists exactly `stage:kind`.
+bool fault_enabled(std::string_view stage, std::string_view kind);
+
+/// Override the spec ("" clears, reverting to LILY_FAULT). Not thread-safe;
+/// intended for test setup and tool flag parsing.
+void set_fault_spec(std::string spec);
+
+/// The active spec text (after env/override resolution).
+std::string fault_spec();
+
+}  // namespace lily

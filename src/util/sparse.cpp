@@ -67,7 +67,8 @@ double dot(std::span<const double> a, std::span<const double> b) {
 }  // namespace
 
 CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
-                            std::span<double> x, double tol, std::size_t max_iters) {
+                            std::span<double> x, double tol, std::size_t max_iters,
+                            StageBudget* budget) {
     const std::size_t n = a.size();
     assert(b.size() == n && x.size() == n);
 
@@ -97,6 +98,11 @@ CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
     }
 
     for (std::size_t it = 0; it < max_iters; ++it) {
+        if (budget != nullptr && !budget->tick()) {
+            // Out of budget: hand back the current (partial) iterate.
+            result.budget_exhausted = true;
+            return result;
+        }
         a.multiply(p, ap);
         const double p_ap = dot(p, ap);
         if (p_ap <= 0.0) break;  // matrix not SPD along p; bail out

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "util/budget.hpp"
+
 namespace lily {
 
 /// Row-compressed symmetric sparse matrix built from coordinate triplets.
@@ -67,13 +69,15 @@ struct CgResult {
     std::size_t iterations = 0;
     double residual_norm = 0.0;  // ||b - A x|| at exit
     bool converged = false;
+    bool budget_exhausted = false;  // the StageBudget fired before convergence
 };
 
 /// Jacobi-preconditioned conjugate gradient. `x` carries the initial guess
-/// in and the solution out. Stops when ||r|| <= tol * max(1, ||b||) or after
-/// max_iters iterations.
+/// in and the solution out. Stops when ||r|| <= tol * max(1, ||b||), after
+/// max_iters iterations, or — best-effort, with the partial iterate left in
+/// `x` — when the optional `budget` exhausts.
 CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
                             std::span<double> x, double tol = 1e-10,
-                            std::size_t max_iters = 10'000);
+                            std::size_t max_iters = 10'000, StageBudget* budget = nullptr);
 
 }  // namespace lily

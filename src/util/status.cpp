@@ -1,0 +1,53 @@
+#include "util/status.hpp"
+
+#include <stdexcept>
+
+namespace lily {
+
+const char* to_string(StatusCode code) {
+    switch (code) {
+        case StatusCode::Ok: return "ok";
+        case StatusCode::ParseError: return "parse-error";
+        case StatusCode::ConvergenceFailure: return "convergence-failure";
+        case StatusCode::BudgetExhausted: return "budget-exhausted";
+        case StatusCode::InvariantViolation: return "invariant-violation";
+        case StatusCode::Unsupported: return "unsupported";
+        case StatusCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+Status Status::parse_error(std::size_t line, std::string_view what, std::string_view source) {
+    std::string msg(source);
+    msg += ':';
+    msg += std::to_string(line);
+    msg += ": ";
+    msg += what;
+    return Status(StatusCode::ParseError, std::move(msg));
+}
+
+Status& Status::with_context(std::string_view context) {
+    if (!is_ok()) {
+        std::string framed(context);
+        framed += ": ";
+        framed += message_;
+        message_ = std::move(framed);
+    }
+    return *this;
+}
+
+std::string Status::to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = lily::to_string(code_);
+    s += ": ";
+    s += message_;
+    return s;
+}
+
+void Status::raise() const {
+    if (is_ok()) throw std::logic_error("Status::raise called on OK status");
+    if (code_ == StatusCode::InvariantViolation) throw std::logic_error(message_);
+    throw std::runtime_error(message_);
+}
+
+}  // namespace lily

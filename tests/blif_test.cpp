@@ -123,6 +123,41 @@ TEST(Blif, ErrorsAreDiagnosed) {
                  std::runtime_error);  // mixed on/off rows
 }
 
+TEST(Blif, TruncatedInputMissingEnd) {
+    // A document without .end is treated as truncated, not silently accepted.
+    const auto r = read_blif_checked(".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n");
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::ParseError);
+    EXPECT_NE(r.status().message().find("missing .end"), std::string::npos)
+        << r.status().message();
+    EXPECT_THROW(read_blif(".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n"),
+                 std::runtime_error);
+}
+
+TEST(Blif, SelfReferentialLatchDiagnosed) {
+    const auto r = read_blif_checked(".model x\n.latch q q\n.end\n");
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::ParseError);
+    EXPECT_NE(r.status().message().find("self-referential latch"), std::string::npos)
+        << r.status().message();
+    // The line number of the offending latch is part of the message.
+    EXPECT_NE(r.status().message().find("blif:2"), std::string::npos) << r.status().message();
+}
+
+TEST(Blif, CheckedErrorsCarryLineNumbers) {
+    const auto dup = read_blif_checked(
+        ".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n");
+    ASSERT_FALSE(dup.is_ok());
+    EXPECT_NE(dup.status().message().find("blif:6"), std::string::npos)
+        << dup.status().message();
+    EXPECT_NE(dup.status().message().find("duplicate .names driver"), std::string::npos);
+
+    const auto undef = read_blif_checked(".model x\n.inputs a\n.outputs f\n.end\n");
+    ASSERT_FALSE(undef.is_ok());
+    EXPECT_NE(undef.status().message().find("blif:3"), std::string::npos)
+        << undef.status().message();
+}
+
 TEST(Blif, CycleDetected) {
     EXPECT_THROW(read_blif(R"(
 .model cyc
@@ -152,6 +187,7 @@ TEST(Blif, RoundTripPreservesFunction) {
 -0 1
 .names a d g
 00 0
+.end
 )";
     const Network n1 = read_blif(src);
     const std::string dumped = write_blif(n1);

@@ -58,7 +58,7 @@ TEST(Flow, BackendPadMismatchRejected) {
     const Network net = make_priority_controller(8);
     const FlowResult base = run_baseline_flow(net, lib);
     PadsInRegion pads{{Point{0, 0}}, Rect({0, 0}, {1, 1})};  // wrong count
-    EXPECT_THROW(run_backend(base.netlist, lib, {}, pads), std::invalid_argument);
+    EXPECT_THROW(run_backend(base.netlist, lib, {}, pads), std::logic_error);
 }
 
 TEST(Flow, SuiteShapeOnSmallScale) {

@@ -196,6 +196,31 @@ TEST(Genlib, Errors) {
     EXPECT_THROW(read_genlib("HELLO\n"), std::runtime_error);
 }
 
+TEST(Genlib, OverFaninGateSkippedNotFatal) {
+    // An 11-input gate exceeds the matcher's fanin limit; the reader must
+    // skip it with a diagnostic and keep the rest of the library usable.
+    std::string text = "GATE wide 9.0 O=!(a*b*c*d*e*f*g*h*i*j*k);\nPIN * INV 0.1 1 1 1 1 1\n";
+    text += "GATE inv 1.0 O=!a;\nPIN a INV 0.1 1 1 1 1 1\n";
+    const Library lib = read_genlib(text);
+    EXPECT_EQ(lib.size(), 1u);
+    EXPECT_EQ(lib.gate(0).name, "inv");
+    ASSERT_EQ(lib.skipped_gates().size(), 1u);
+    EXPECT_EQ(lib.skipped_gates()[0].name, "wide");
+    EXPECT_EQ(lib.skipped_gates()[0].line_no, 1u);
+    EXPECT_NE(lib.skipped_gates()[0].reason.find("limit 10"), std::string::npos)
+        << lib.skipped_gates()[0].reason;
+}
+
+TEST(Genlib, CheckedReaderReportsLineNumbers) {
+    const StatusOr<Library> bad = read_genlib_checked("GATE ok 1.0 O=!a;\n"
+                                                      "PIN a INV 0.1 1 1 1 1 1\n"
+                                                      "GATE broken 1.0 O=!a\n");
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::ParseError);
+    EXPECT_NE(bad.status().to_string().find("unterminated"), std::string::npos)
+        << bad.status().to_string();
+}
+
 TEST(Genlib, TypicalInputLoad) {
     const Library lib = read_genlib(
         "GATE g 2.0 O=!(a*b);\nPIN a INV 0.1 1 1 1 1 1\nPIN b INV 0.3 1 1 1 1 1\n");

@@ -159,7 +159,7 @@ TEST(Lily, ExternalPadPositionsRespected) {
         EXPECT_EQ(res.pad_positions[i], pads[i]);
     }
     EXPECT_THROW(LilyMapper(lib).map(r.graph, {}, std::vector<Point>{{0, 0}}),
-                 std::invalid_argument);
+                 std::logic_error);
 }
 
 TEST(Lily, PeriodicReplacementRunsAndStaysEquivalent) {
