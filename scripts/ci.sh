@@ -79,6 +79,16 @@ echo "+ $LINT --flow (expect 'flow: clean')"
 "$LINT" --flow --quiet examples/circuits/parity8.blif lib/msu_big.genlib \
   | grep -q "^flow: clean"
 
+# ---- Perf smoke: calibrated regression + determinism check -------------
+# perf_scaling runs the full Lily flow single- and multi-threaded, writes
+# BENCH_perf.json, and exits non-zero if (a) multi-threaded output is not
+# bit-identical to single-threaded, or (b) the calibrated single-thread
+# cost regressed >20% over bench/BENCH_baseline.json.
+run build-ci-release/bench/perf_scaling --quick \
+    --baseline=bench/BENCH_baseline.json --out=BENCH_perf.json
+echo "+ BENCH_perf.json:"
+cat BENCH_perf.json
+
 # ---- clang-tidy (advisory; runs only when installed) -------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-ci-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/parallel.hpp"
+
 #include "check/mapped_checker.hpp"
 #include "check/match_checker.hpp"
 #include "check/placement_checker.hpp"
@@ -252,6 +254,7 @@ StatusOr<FlowResult> run_backend_checked(const MappedNetlist& mapped, const Libr
                                          const FlowOptions& opts,
                                          std::optional<PadsInRegion> pads,
                                          std::optional<std::vector<Point>> seed_positions) {
+    ThreadPool::global().resize(opts.threads);
     StageBudget total(opts.budget.total_ms);
     return backend_impl(mapped, lib, opts, std::move(pads), std::move(seed_positions),
                         FlowDiagnostics{}, total.limited() ? &total : nullptr);
@@ -269,6 +272,7 @@ StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library
     // Pipeline 1: map first (interconnect-blind), lay out afterwards. The
     // mapper cannot see pad locations — exactly the paper's remark that the
     // standard MIS pipeline "cannot make use of the location of pads".
+    ThreadPool::global().resize(opts.threads);
     FlowDiagnostics diag;
     StageBudget total(opts.budget.total_ms);
     StageBudget* totalp = total.limited() ? &total : nullptr;
@@ -322,6 +326,7 @@ FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowO
 StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
                                            const FlowOptions& opts) {
     // Pipeline 2: pads first, then placement-coupled mapping.
+    ThreadPool::global().resize(opts.threads);
     FlowDiagnostics diag;
     StageBudget total(opts.budget.total_ms);
     StageBudget* totalp = total.limited() ? &total : nullptr;

@@ -96,6 +96,11 @@ struct FlowOptions {
     FlowBudget budget;
     /// Fallback/retry behavior when a stage fails or runs out of budget.
     RecoveryPolicy recovery;
+    /// Worker threads for the parallel kernels (placement assembly, CG,
+    /// candidate evaluation). 0 = LILY_THREADS from the environment, or the
+    /// hardware concurrency when unset. All reductions are deterministic:
+    /// results are bit-identical for every thread count.
+    std::size_t threads = 0;
 };
 
 struct FlowMetrics {

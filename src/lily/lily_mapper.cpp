@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "util/fault.hpp"
+#include "util/parallel.hpp"
 
 namespace lily {
 
@@ -31,6 +32,24 @@ struct Ctx {
     // allocation per query (the walk runs once per match input).
     mutable std::vector<std::uint32_t> visit_mark;
     mutable std::uint32_t visit_epoch = 0;
+
+    // --- Incrementally invalidated caches, keyed to the life cycle.
+    //
+    // True-fanout membership only changes when a node becomes a dove or a
+    // dove is promoted to hawk — both happen exclusively in the cone-commit
+    // walk — so cached fanout lists stay valid for the whole DP pass over a
+    // cone (topo_epoch bumps once per commit). The positions feeding the
+    // fanin rectangles additionally change when hawks adopt mapPositions at
+    // commit and when periodic re-placement rewrites placePositions, so the
+    // rectangle cache has its own epoch (rect_epoch) bumped at both points.
+    mutable std::vector<std::vector<SubjectId>> tf_cache{};
+    mutable std::vector<std::uint32_t> tf_stamp{};
+    mutable std::uint32_t topo_epoch = 1;
+    mutable std::vector<Rect> full_rect{};  // fanin rect with no covered-filter
+    mutable std::vector<std::uint32_t> rect_stamp{};
+    mutable std::uint32_t rect_epoch = 1;
+    // Matcher buffers reused across every matches_at call of the DP.
+    mutable MatchScratch match_scratch{};
 
     /// placePosition/mapPosition lookup per the paper's rules: hawks answer
     /// with their mapPosition, primary inputs with their pad, everything
@@ -58,14 +77,25 @@ void add_true_fanouts(const Ctx& ctx, SubjectId branch, std::vector<SubjectId>& 
     }
 }
 
-std::vector<SubjectId> true_fanouts(const Ctx& ctx, SubjectId stem) {
-    std::vector<SubjectId> out;
+/// Cached true-fanout list of `stem`, recomputed lazily after each cone
+/// commit (see Ctx::topo_epoch). Callers inside the parallel candidate
+/// evaluation must only hit warm entries (see warm_caches); cache fills are
+/// serial-only because they mutate the shared visit scratch.
+const std::vector<SubjectId>& true_fanouts(const Ctx& ctx, SubjectId stem) {
+    if (ctx.tf_cache.size() != ctx.g.size()) {
+        ctx.tf_cache.assign(ctx.g.size(), {});
+        ctx.tf_stamp.assign(ctx.g.size(), 0);
+    }
+    if (ctx.tf_stamp[stem] == ctx.topo_epoch) return ctx.tf_cache[stem];
+    std::vector<SubjectId>& out = ctx.tf_cache[stem];
+    out.clear();
     if (ctx.visit_mark.size() != ctx.g.size()) {
         ctx.visit_mark.assign(ctx.g.size(), 0);
         ctx.visit_epoch = 0;
     }
     ++ctx.visit_epoch;
     for (const SubjectId f : ctx.g.node(stem).fanouts) add_true_fanouts(ctx, f, out);
+    ctx.tf_stamp[stem] = ctx.topo_epoch;
     return out;
 }
 
@@ -73,14 +103,41 @@ bool is_covered_by(const Match& m, SubjectId v) {
     return std::binary_search(m.covered.begin(), m.covered.end(), v);
 }
 
+/// Fanin rectangle of `vi` with no covered-filter applied — the common case
+/// (most matches cover none of an input's other fanouts), cached per node
+/// and invalidated whenever positions can move (Ctx::rect_epoch).
+const Rect& full_fanin_rect(const Ctx& ctx, SubjectId vi) {
+    if (ctx.rect_stamp.size() != ctx.g.size()) {
+        ctx.full_rect.assign(ctx.g.size(), {});
+        ctx.rect_stamp.assign(ctx.g.size(), 0);
+    }
+    if (ctx.rect_stamp[vi] == ctx.rect_epoch) return ctx.full_rect[vi];
+    Rect r;
+    r.expand(ctx.pos(vi));
+    for (const SubjectId tf : true_fanouts(ctx, vi)) r.expand(ctx.pos(tf));
+    for (const std::size_t pad : ctx.po_pads_of[vi]) r.expand(ctx.pad_pos[pad]);
+    ctx.full_rect[vi] = r;
+    ctx.rect_stamp[vi] = ctx.rect_epoch;
+    return ctx.full_rect[vi];
+}
+
 /// Fanin rectangle of input `vi` of match `m` (Section 3.3): the true
 /// fanouts of vi not covered by m, plus vi itself. Hawks (and vi when it is
 /// one) contribute mapPositions, everything else placePositions; pads of
 /// primary outputs vi drives are included.
 Rect fanin_rect(const Ctx& ctx, SubjectId vi, const Match& m) {
+    const std::vector<SubjectId>& tfs = true_fanouts(ctx, vi);
+    bool any_covered = false;
+    for (const SubjectId tf : tfs) {
+        if (is_covered_by(m, tf)) {
+            any_covered = true;
+            break;
+        }
+    }
+    if (!any_covered) return full_fanin_rect(ctx, vi);
     Rect r;
     r.expand(ctx.pos(vi));
-    for (const SubjectId tf : true_fanouts(ctx, vi)) {
+    for (const SubjectId tf : tfs) {
         if (is_covered_by(m, tf)) continue;
         r.expand(ctx.pos(tf));
     }
@@ -137,7 +194,7 @@ Point candidate_position(const Ctx& ctx, SubjectId v, const Match& m) {
 /// each input net, the enclosing-rectangle half perimeter (Steiner-ratio
 /// corrected) or spanning-tree length over {fanin-rect nodes, p}, divided by
 /// the true fanout count to avoid duplicate accounting.
-double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p) {
+double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p, WireScratch& wire) {
     double sum = 0.0;
     for (const SubjectId vi : distinct_inputs(m)) {
         std::vector<Point> pts;
@@ -154,7 +211,7 @@ double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p) {
         }
         pts.push_back(p);
         tf_count = std::max<std::size_t>(tf_count, 1);
-        sum += net_wirelength(pts, ctx.opts.wire_model) / static_cast<double>(tf_count);
+        sum += net_wirelength(pts, ctx.opts.wire_model, wire) / static_cast<double>(tf_count);
     }
     return sum;
 }
@@ -217,6 +274,106 @@ RiseFallPair arrival_under_load(const Ctx& ctx, SubjectId vi, double c_load) {
     }
     return out;
 }
+
+// ------------------------------------------- parallel candidate evaluation
+
+/// Serially fill every cache a candidate evaluation can read, so that the
+/// parallel evaluation below touches the caches read-only (a cold entry
+/// would otherwise race on the shared visit scratch / cache slots).
+void warm_caches(const Ctx& ctx, SubjectId v, const std::vector<Match>& matches) {
+    true_fanouts(ctx, v);  // output-load walk in delay mode
+    for (const Match& m : matches) {
+        for (const SubjectId vi : m.inputs) {
+            true_fanouts(ctx, vi);
+            full_fanin_rect(ctx, vi);
+        }
+    }
+}
+
+/// One candidate's evaluation, independent of every other candidate: a pure
+/// function of the (frozen) mapping state, so candidates can be scored in
+/// parallel. The winner is picked by a serial fold afterwards, in match
+/// order with the original tie-break, making the chosen match — and thus
+/// the whole mapping — identical for any thread count.
+struct CandEval {
+    bool valid = false;
+    double key = 0.0;
+    double gate_area = 0.0;  // tie-break
+    LilyNodeSolution cand;
+};
+
+CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool degraded,
+                            bool delay_mode, WireScratch& wire) {
+    CandEval out;
+    const Gate& gate = ctx.lib.gate(m.gate);
+    const Point p = degraded ? ctx.place_pos[v] : candidate_position(ctx, v, m);
+
+    LilyNodeSolution& cand = out.cand;
+    cand.position = p;
+    double key;
+    if (!delay_mode || degraded) {
+        cand.area_cost = gate.area;
+        cand.local_wire = degraded ? 0.0 : local_wire_cost(ctx, m, p, wire);
+        cand.wire_cost = cand.local_wire;
+        for (const SubjectId vi : m.inputs) {
+            cand.area_cost += ctx.sol[vi].area_cost;
+            cand.wire_cost += ctx.sol[vi].wire_cost;
+        }
+        cand.cost = cand.area_cost + ctx.opts.wire_weight * cand.wire_cost;
+        key = cand.cost;
+    } else {
+        // Section 4.4, steps 1-4.
+        cand.block.resize(m.inputs.size());
+        for (std::size_t k = 0; k < m.inputs.size(); ++k) {
+            const SubjectId vi = m.inputs[k];
+            // 1: accurate arrival at vi with m as a known fanout.
+            const double c_vi = load_at(ctx, vi, &m, &p, k);
+            const RiseFallPair t_vi = arrival_under_load(ctx, vi, c_vi);
+            // 2: block arrival at gate(m) for pin k.
+            const PinTiming& pin = gate.pin(k);
+            double rise_from, fall_from;
+            switch (pin.phase) {
+                case PinPhase::Inv:
+                    rise_from = t_vi.fall;
+                    fall_from = t_vi.rise;
+                    break;
+                case PinPhase::NonInv:
+                    rise_from = t_vi.rise;
+                    fall_from = t_vi.fall;
+                    break;
+                default:
+                    rise_from = t_vi.worst();
+                    fall_from = t_vi.worst();
+            }
+            cand.block[k] = {rise_from + pin.rise_block, fall_from + pin.fall_block};
+        }
+        // 3: output load from the inchoate fanouts of v. (The load model
+        // uses the inchoate view, Section 4.3 — no match/point arguments.)
+        const double c_out = load_at(ctx, v, nullptr, nullptr, 0);
+        // 4: output arrival.
+        cand.arrival_rise = -1e300;
+        cand.arrival_fall = -1e300;
+        for (std::size_t k = 0; k < m.inputs.size(); ++k) {
+            const PinTiming& pin = gate.pin(k);
+            cand.arrival_rise =
+                std::max(cand.arrival_rise, cand.block[k].rise + pin.rise_fanout * c_out);
+            cand.arrival_fall =
+                std::max(cand.arrival_fall, cand.block[k].fall + pin.fall_fanout * c_out);
+        }
+        cand.local_wire = local_wire_cost(ctx, m, p, wire);
+        key = cand.worst_arrival();
+        cand.cost = key;
+    }
+    out.key = key;
+    out.gate_area = gate.area;
+    out.valid = true;
+    return out;
+}
+
+/// Matches per evaluation chunk — fixed so the chunking (and therefore the
+/// arithmetic inside each evaluation, which is independent anyway) does not
+/// depend on the thread count.
+constexpr std::size_t kCandidateGrain = 2;
 
 }  // namespace
 
@@ -308,84 +465,45 @@ StatusOr<LilyResult> LilyMapper::map_checked(
             }
             if (degraded) ++result.degraded_nodes;
 
-            auto matches = matcher_.matches_at(g, v, /*base_only=*/degraded);
+            auto matches = matcher_.matches_at(g, v, ctx.match_scratch,
+                                               /*base_only=*/degraded);
             if (matcher_fault_pending) {
                 matches.clear();
                 matcher_fault_pending = false;
             }
+            // Candidates are scored in parallel (each evaluation reads the
+            // frozen mapping state and the pre-warmed caches), then the
+            // winner is chosen by a serial fold in match order with the
+            // original tie-break — the same match wins as in a serial scan,
+            // for any LILY_THREADS value.
+            if (!degraded) warm_caches(ctx, v, matches);
+            std::vector<CandEval> evals(matches.size());
+            parallel_for(
+                0, matches.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    WireScratch wire;
+                    for (std::size_t i = begin; i < end; ++i) {
+                        const Match& m = matches[i];
+                        if (opts.cover == CoverMode::Trees && !legal_in_tree_mode(g, m)) {
+                            continue;  // slot stays invalid
+                        }
+                        evals[i] = evaluate_candidate(ctx, v, m, degraded, delay_mode, wire);
+                    }
+                },
+                kCandidateGrain);
+
             LilyNodeSolution best;
             double best_key = std::numeric_limits<double>::max();
-            for (Match& m : matches) {
-                if (opts.cover == CoverMode::Trees && !legal_in_tree_mode(g, m)) continue;
-                const Gate& gate = lib_->gate(m.gate);
-                const Point p = degraded ? ctx.place_pos[v] : candidate_position(ctx, v, m);
-
-                LilyNodeSolution cand;
-                cand.position = p;
-                double key;
-                if (!delay_mode || degraded) {
-                    cand.area_cost = gate.area;
-                    cand.local_wire = degraded ? 0.0 : local_wire_cost(ctx, m, p);
-                    cand.wire_cost = cand.local_wire;
-                    for (const SubjectId vi : m.inputs) {
-                        cand.area_cost += ctx.sol[vi].area_cost;
-                        cand.wire_cost += ctx.sol[vi].wire_cost;
-                    }
-                    cand.cost = cand.area_cost + opts.wire_weight * cand.wire_cost;
-                    key = cand.cost;
-                } else {
-                    // Section 4.4, steps 1-4.
-                    cand.block.resize(m.inputs.size());
-                    for (std::size_t k = 0; k < m.inputs.size(); ++k) {
-                        const SubjectId vi = m.inputs[k];
-                        // 1: accurate arrival at vi with m as a known fanout.
-                        const double c_vi = load_at(ctx, vi, &m, &p, k);
-                        const RiseFallPair t_vi = arrival_under_load(ctx, vi, c_vi);
-                        // 2: block arrival at gate(m) for pin k.
-                        const PinTiming& pin = gate.pin(k);
-                        double rise_from, fall_from;
-                        switch (pin.phase) {
-                            case PinPhase::Inv:
-                                rise_from = t_vi.fall;
-                                fall_from = t_vi.rise;
-                                break;
-                            case PinPhase::NonInv:
-                                rise_from = t_vi.rise;
-                                fall_from = t_vi.fall;
-                                break;
-                            default:
-                                rise_from = t_vi.worst();
-                                fall_from = t_vi.worst();
-                        }
-                        cand.block[k] = {rise_from + pin.rise_block, fall_from + pin.fall_block};
-                    }
-                    // 3: output load from the inchoate fanouts of v.
-                    Match* no_match = nullptr;
-                    Point* no_point = nullptr;
-                    // Temporarily treat v's own covered fanouts as normal
-                    // (the load model uses the inchoate view, Section 4.3).
-                    const double c_out = load_at(ctx, v, no_match, no_point, 0);
-                    // 4: output arrival.
-                    cand.arrival_rise = -1e300;
-                    cand.arrival_fall = -1e300;
-                    for (std::size_t k = 0; k < m.inputs.size(); ++k) {
-                        const PinTiming& pin = gate.pin(k);
-                        cand.arrival_rise = std::max(
-                            cand.arrival_rise, cand.block[k].rise + pin.rise_fanout * c_out);
-                        cand.arrival_fall = std::max(
-                            cand.arrival_fall, cand.block[k].fall + pin.fall_fanout * c_out);
-                    }
-                    cand.local_wire = local_wire_cost(ctx, m, p);
-                    key = cand.worst_arrival();
-                    cand.cost = key;
-                }
-                if (key < best_key ||
-                    (key == best_key && best.has_match &&
-                     gate.area < lib_->gate(best.match.gate).area)) {
-                    best_key = key;
-                    cand.match = std::move(m);
-                    cand.has_match = true;
-                    best = std::move(cand);
+            for (std::size_t i = 0; i < evals.size(); ++i) {
+                CandEval& e = evals[i];
+                if (!e.valid) continue;
+                if (e.key < best_key ||
+                    (e.key == best_key && best.has_match &&
+                     e.gate_area < lib_->gate(best.match.gate).area)) {
+                    best_key = e.key;
+                    e.cand.match = std::move(matches[i]);
+                    e.cand.has_match = true;
+                    best = std::move(e.cand);
                 }
             }
             if (!best.has_match) {
@@ -416,6 +534,10 @@ StatusOr<LilyResult> LilyMapper::map_checked(
                 stack.push_back(leaf);
             }
         }
+        // The commit changed dove/hawk states (true-fanout membership) and
+        // gave the new hawks mapPositions: drop both cache generations.
+        ++ctx.topo_epoch;
+        ++ctx.rect_epoch;
 
         // ---- Optional periodic re-placement of the partially mapped
         // network (Section 3.2): hawks are pulled toward their mapPositions,
@@ -443,6 +565,9 @@ StatusOr<LilyResult> LilyMapper::map_checked(
                     ctx.place_pos[v] = fresh.positions[ctx.view.cell_of[v]];
                 }
             }
+            // placePositions moved: the cached rectangles are stale (the
+            // fanout lists themselves are not — membership is unchanged).
+            ++ctx.rect_epoch;
             ++result.replacements;
         }
     }

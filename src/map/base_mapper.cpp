@@ -17,11 +17,12 @@ MapResult BaseMapper::map(const SubjectGraph& g, const BaseMapperOptions& opts) 
     MapResult result;
     result.solution.assign(g.size(), {});
 
+    MatchScratch scratch;  // reused across nodes: no per-call buffer churn
     for (SubjectId v = 0; v < g.size(); ++v) {
         const SubjectNode& n = g.node(v);
         if (n.kind == SubjectKind::Input) continue;  // cost 0, no match
 
-        auto matches = matcher_.matches_at(g, v);
+        auto matches = matcher_.matches_at(g, v, scratch);
         NodeSolution best;
         best.cost = std::numeric_limits<double>::max();
         for (Match& m : matches) {

@@ -1,6 +1,7 @@
 #include "match/matcher.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace lily {
 
@@ -60,48 +61,178 @@ bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, S
     return false;
 }
 
+/// Longest node-to-Input path, in edges, for every node. Subject ids are
+/// assigned in topological order (fanins precede fanouts), so one forward
+/// pass suffices.
+void compute_heights(const SubjectGraph& g, std::vector<std::uint32_t>& heights) {
+    heights.assign(g.size(), 0);
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        const SubjectNode& n = g.node(v);
+        switch (n.kind) {
+            case SubjectKind::Input:
+                break;
+            case SubjectKind::Inv:
+                heights[v] = heights[n.fanin0] + 1;
+                break;
+            case SubjectKind::Nand2:
+                heights[v] = std::max(heights[n.fanin0], heights[n.fanin1]) + 1;
+                break;
+        }
+    }
+}
+
+void ensure_heights(const SubjectGraph& g, MatchScratch& scratch) {
+    if (scratch.heights_for == &g && scratch.heights_nodes == g.size()) return;
+    compute_heights(g, scratch.heights);
+    scratch.heights_for = &g;
+    scratch.heights_nodes = g.size();
+}
+
 }  // namespace
+
+Matcher::Matcher(const Library& lib) : lib_(&lib) {
+    auto classify = [](const PatternGraph& pat, std::int32_t child) {
+        const PatternKind k = pat.nodes[static_cast<std::size_t>(child)].kind;
+        switch (k) {
+            case PatternKind::Input: return ChildClass::Leaf;
+            case PatternKind::Inv: return ChildClass::Inv;
+            case PatternKind::Nand2: return ChildClass::Nand2;
+        }
+        return ChildClass::Leaf;
+    };
+    for (GateId gid = 0; gid < lib_->size(); ++gid) {
+        const Gate& gate = lib_->gate(gid);
+        const bool is_base = gid == lib_->inverter() || gid == lib_->nand2();
+        for (std::uint32_t pi = 0; pi < gate.patterns.size(); ++pi) {
+            const PatternGraph& pat = gate.patterns[pi];
+            if (pat.root < 0) continue;
+            const PatternNode& root = pat.nodes[static_cast<std::size_t>(pat.root)];
+            // An Input-rooted pattern covers no logic; the exhaustive scan
+            // rejects it (empty cover), so it never enters a bucket.
+            if (root.kind == PatternKind::Input) continue;
+            PatternRef ref;
+            ref.gate = gid;
+            ref.pattern_index = pi;
+            ref.pattern = &pat;
+            ref.min_height = static_cast<std::uint32_t>(pat.depth());
+            ref.is_base = is_base;
+            if (root.kind == PatternKind::Inv) {
+                ref.child0 = classify(pat, root.child0);
+                inv_rooted_.push_back(ref);
+            } else {
+                ref.child0 = classify(pat, root.child0);
+                ref.child1 = classify(pat, root.child1);
+                nand_rooted_.push_back(ref);
+            }
+        }
+    }
+}
+
+namespace {
+
+bool class_ok(std::uint8_t cls, SubjectKind k) {
+    // ChildClass::Leaf = 0, Inv = 1, Nand2 = 2; SubjectKind Inv / Nand2
+    // comparisons are done by the caller passing the raw class value.
+    switch (cls) {
+        case 0: return true;
+        case 1: return k == SubjectKind::Inv;
+        default: return k == SubjectKind::Nand2;
+    }
+}
+
+}  // namespace
+
+bool Matcher::try_pattern(const PatternRef& ref, const SubjectGraph& g, SubjectId v,
+                          MatchScratch& scratch, std::vector<Match>& out) const {
+    const PatternGraph& pat = *ref.pattern;
+    scratch.binding.assign(pat.n_vars, kNullSubject);
+    scratch.undo.clear();
+    scratch.covered.clear();
+    if (!match_rec(pat, pat.root, g, v, scratch.binding, scratch.undo, scratch.covered)) {
+        return false;
+    }
+    // Every pattern variable must be bound (gate pins all used).
+    if (std::find(scratch.binding.begin(), scratch.binding.end(), kNullSubject) !=
+        scratch.binding.end()) {
+        return false;
+    }
+    if (scratch.covered.empty()) return false;  // degenerate pattern (no structure)
+    Match m;
+    m.gate = ref.gate;
+    m.pattern_index = ref.pattern_index;
+    m.inputs = scratch.binding;
+    // Dedupe covered nodes (shared substructure can be visited twice
+    // on strashed subject graphs) and sort topologically (by id);
+    // the root has the largest id of the covered set.
+    std::sort(scratch.covered.begin(), scratch.covered.end());
+    scratch.covered.erase(std::unique(scratch.covered.begin(), scratch.covered.end()),
+                          scratch.covered.end());
+    m.covered = scratch.covered;
+    // A pattern leaf bound to a node that the same match covers
+    // internally would make the gate feed itself; reject.
+    for (SubjectId in : m.inputs) {
+        if (std::binary_search(m.covered.begin(), m.covered.end(), in)) return false;
+    }
+    if (m.covered.back() != v) return false;  // defensive: root must be v
+    out.push_back(std::move(m));
+    return true;
+}
+
+std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
+                                       MatchScratch& scratch, bool base_only) const {
+    std::vector<Match> out;
+    const SubjectNode& sn = g.node(v);
+    if (sn.kind == SubjectKind::Input) return out;
+    ensure_heights(g, scratch);
+    const std::uint32_t h = scratch.heights[v];
+    const std::vector<PatternRef>& bucket =
+        sn.kind == SubjectKind::Inv ? inv_rooted_ : nand_rooted_;
+    for (const PatternRef& ref : bucket) {
+        if (base_only && !ref.is_base) continue;
+        // Depth pruning: a pattern of depth d needs a d-edge chain of
+        // matching gates below v; the subject can't provide one when its
+        // longest input path is shorter.
+        if (h < ref.min_height) continue;
+        // Root-child compatibility (commutative for NAND roots).
+        if (sn.kind == SubjectKind::Inv) {
+            if (!class_ok(static_cast<std::uint8_t>(ref.child0), g.node(sn.fanin0).kind)) {
+                continue;
+            }
+        } else {
+            const SubjectKind k0 = g.node(sn.fanin0).kind;
+            const SubjectKind k1 = g.node(sn.fanin1).kind;
+            const std::uint8_t c0 = static_cast<std::uint8_t>(ref.child0);
+            const std::uint8_t c1 = static_cast<std::uint8_t>(ref.child1);
+            if (!((class_ok(c0, k0) && class_ok(c1, k1)) ||
+                  (class_ok(c0, k1) && class_ok(c1, k0)))) {
+                continue;
+            }
+        }
+        try_pattern(ref, g, v, scratch, out);
+    }
+    return out;
+}
 
 std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
                                        bool base_only) const {
+    MatchScratch scratch;
+    return matches_at(g, v, scratch, base_only);
+}
+
+std::vector<Match> Matcher::matches_at_reference(const SubjectGraph& g, SubjectId v,
+                                                 bool base_only) const {
     std::vector<Match> out;
     if (g.node(v).kind == SubjectKind::Input) return out;
+    MatchScratch scratch;
     for (GateId gid = 0; gid < lib_->size(); ++gid) {
         if (base_only && gid != lib_->inverter() && gid != lib_->nand2()) continue;
         const Gate& gate = lib_->gate(gid);
         for (std::uint32_t pi = 0; pi < gate.patterns.size(); ++pi) {
-            const PatternGraph& pat = gate.patterns[pi];
-            std::vector<SubjectId> binding(pat.n_vars, kNullSubject);
-            std::vector<unsigned> undo;
-            std::vector<SubjectId> covered;
-            if (!match_rec(pat, pat.root, g, v, binding, undo, covered)) continue;
-            // Every pattern variable must be bound (gate pins all used).
-            if (std::find(binding.begin(), binding.end(), kNullSubject) != binding.end()) {
-                continue;
-            }
-            if (covered.empty()) continue;  // degenerate pattern (no structure)
-            Match m;
-            m.gate = gid;
-            m.pattern_index = pi;
-            m.inputs = std::move(binding);
-            // Dedupe covered nodes (shared substructure can be visited twice
-            // on strashed subject graphs) and sort topologically (by id);
-            // the root has the largest id of the covered set.
-            std::sort(covered.begin(), covered.end());
-            covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
-            m.covered = std::move(covered);
-            // A pattern leaf bound to a node that the same match covers
-            // internally would make the gate feed itself; reject.
-            bool self_feeding = false;
-            for (SubjectId in : m.inputs) {
-                if (std::binary_search(m.covered.begin(), m.covered.end(), in)) {
-                    self_feeding = true;
-                    break;
-                }
-            }
-            if (self_feeding) continue;
-            if (m.covered.back() != v) continue;  // defensive: root must be v
-            out.push_back(std::move(m));
+            PatternRef ref;
+            ref.gate = gid;
+            ref.pattern_index = pi;
+            ref.pattern = &gate.patterns[pi];
+            try_pattern(ref, g, v, scratch, out);
         }
     }
     return out;

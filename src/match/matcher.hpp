@@ -6,6 +6,7 @@
 // same subject node (leaf-DAG semantics, e.g. XOR gates).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "library/library.hpp"
@@ -29,10 +30,33 @@ struct Match {
     SubjectId root() const { return covered.back(); }
 };
 
+/// Reusable matcher working storage, owned by the caller (one per DP loop /
+/// thread). Holds the backtracking buffers — previously allocated afresh
+/// for every pattern attempt — plus a per-graph node-height table used for
+/// depth pruning. Not thread-safe; give each concurrent caller its own.
+struct MatchScratch {
+    std::vector<SubjectId> binding;
+    std::vector<unsigned> undo;
+    std::vector<SubjectId> covered;
+    /// heights[v] = longest v-to-Input path in edges (0 for Input nodes);
+    /// rebuilt lazily whenever the subject graph identity or size changes.
+    std::vector<std::uint32_t> heights;
+    const void* heights_for = nullptr;
+    std::size_t heights_nodes = 0;
+};
+
 /// Matches every pattern of every library gate against subject nodes.
+///
+/// Patterns are pre-bucketed at construction by root kind (Inv / Nand2)
+/// together with a per-pattern pruning signature — minimum subject height
+/// (== pattern depth) and the structural class of each root child — so
+/// matches_at only attempts patterns that can possibly match the subject
+/// node's local shape. Pruning is sound (rejected patterns could never
+/// match) and bucket order preserves the (gate, pattern) iteration order,
+/// so the match list is identical to the exhaustive scan.
 class Matcher {
 public:
-    explicit Matcher(const Library& lib) : lib_(&lib) {}
+    explicit Matcher(const Library& lib);
 
     /// All matches rooted at `v` (empty for Input nodes). Always non-empty
     /// for gate nodes when the library holds the base functions.
@@ -41,13 +65,44 @@ public:
     /// the cheap degraded mode the Lily mapper drops into when its stage
     /// budget exhausts: every subject node trivially matches one of the two
     /// base gates, so a legal (if unoptimized) cover always completes.
+    ///
+    /// `scratch` is reused across calls to avoid per-call allocation; the
+    /// overload without it keeps a conversion-cost fallback for one-shot
+    /// callers (checkers, tests).
+    std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v, MatchScratch& scratch,
+                                  bool base_only = false) const;
     std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v,
                                   bool base_only = false) const;
+
+    /// Exhaustive scan with no pruning or bucketing — the original
+    /// implementation, kept as the oracle for equivalence tests.
+    std::vector<Match> matches_at_reference(const SubjectGraph& g, SubjectId v,
+                                            bool base_only = false) const;
 
     const Library& library() const { return *lib_; }
 
 private:
+    /// Structural requirement a pattern-root child places on the matching
+    /// subject fanin: a leaf binds to anything, an internal node needs the
+    /// same base-gate kind.
+    enum class ChildClass : std::uint8_t { Leaf, Inv, Nand2 };
+
+    struct PatternRef {
+        GateId gate;
+        std::uint32_t pattern_index;
+        const PatternGraph* pattern;
+        std::uint32_t min_height;  // == pattern depth; subject must be as tall
+        ChildClass child0 = ChildClass::Leaf;
+        ChildClass child1 = ChildClass::Leaf;  // Nand2 roots only
+        bool is_base;  // gate is the canonical inverter or NAND2
+    };
+
+    bool try_pattern(const PatternRef& ref, const SubjectGraph& g, SubjectId v,
+                     MatchScratch& scratch, std::vector<Match>& out) const;
+
     const Library* lib_;
+    std::vector<PatternRef> inv_rooted_;   // in (gate, pattern) order
+    std::vector<PatternRef> nand_rooted_;  // in (gate, pattern) order
 };
 
 }  // namespace lily

@@ -1,8 +1,11 @@
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <tuple>
 
 #include "place/placement.hpp"
+#include "util/parallel.hpp"
 #include "util/sparse.hpp"
 
 namespace lily {
@@ -27,56 +30,133 @@ void PlacementNetlist::check() const {
 
 namespace {
 
-/// One quadratic solve: clique model with weight 2/k per pin pair, anchors
-/// as diagonal springs. Solves x and y independently. Returns false when
-/// the stage budget fired before both axes converged.
-bool solve_qp(const PlacementNetlist& nl, std::span<const Point> anchor_pos,
+/// Nets per assembly chunk. Fixed (thread-count independent) so the
+/// concatenated triplet sequence matches the serial order exactly.
+constexpr std::size_t kNetGrain = 256;
+
+/// The connectivity part of the quadratic system, built once per placement:
+/// clique springs with weight 2/k per pin pair, pad springs folded into the
+/// diagonal and the right-hand side. Region anchors are the only thing that
+/// changes between partitioning rounds, and they are pure diagonal + rhs
+/// terms — so each round refolds the anchor slot in place (set_anchor,
+/// bit-identical to a full re-assembly with that weight) instead of
+/// re-building and re-sorting every triplet.
+struct QpSystem {
+    SparseMatrix a;                  // springs + pads, anchor slots reserved
+    std::vector<double> base_bx;     // rhs before region anchors
+    std::vector<double> base_by;
+    // Scratch reused across rounds (rhs with anchors applied).
+    std::vector<double> bx, by, x, y;
+};
+
+QpSystem build_qp_system(const PlacementNetlist& nl) {
+    const std::size_t n = nl.n_cells;
+    QpSystem sys;
+    sys.base_bx.assign(n, 0.0);
+    sys.base_by.assign(n, 0.0);
+
+    // Per-chunk assembly: each chunk of nets produces its own triplet list
+    // and rhs contributions; chunks are then concatenated / applied in
+    // chunk order, which reproduces the serial net-by-net sequence (and
+    // with it the exact floating-point sums) for any thread count.
+    struct ChunkOut {
+        std::optional<SparseMatrix::Builder> builder;
+        std::vector<std::tuple<std::size_t, double, double>> rhs;  // cell, +bx, +by
+    };
+    const std::size_t n_chunks = parallel_chunk_count(nl.nets.size(), kNetGrain);
+    std::vector<ChunkOut> chunks(n_chunks);
+    parallel_for(
+        0, nl.nets.size(),
+        [&](std::size_t begin, std::size_t end) {
+            ChunkOut& out = chunks[begin / kNetGrain];
+            out.builder.emplace(n);
+            for (std::size_t ni = begin; ni < end; ++ni) {
+                const PlacementNetlist::Net& net = nl.nets[ni];
+                const std::size_t k = net.pin_count();
+                if (k < 2) continue;
+                const double w = 2.0 / static_cast<double>(k);
+                // Cell-cell springs.
+                for (std::size_t i = 0; i < net.cells.size(); ++i) {
+                    for (std::size_t j = i + 1; j < net.cells.size(); ++j) {
+                        out.builder->add_spring(net.cells[i], net.cells[j], w);
+                    }
+                    // Cell-pad springs (pad is fixed: diagonal + rhs).
+                    for (const std::size_t p : net.pads) {
+                        out.builder->add_anchor(net.cells[i], w);
+                        out.rhs.emplace_back(net.cells[i], w * nl.pad_positions[p].x,
+                                             w * nl.pad_positions[p].y);
+                    }
+                }
+            }
+        },
+        kNetGrain);
+
+    SparseMatrix::Builder builder(n);
+    for (ChunkOut& c : chunks) {
+        if (c.builder.has_value()) builder.merge(std::move(*c.builder));
+        for (const auto& [cell, dx, dy] : c.rhs) {
+            sys.base_bx[cell] += dx;
+            sys.base_by[cell] += dy;
+        }
+    }
+    // Reserve a refreshable anchor slot on every diagonal; per-round anchor
+    // weights are folded in by set_anchor in the slot's exact sort position.
+    for (std::size_t c = 0; c < n; ++c) builder.add_anchor_slot(c);
+
+    sys.a = std::move(builder).build();
+    sys.bx.resize(n);
+    sys.by.resize(n);
+    sys.x.resize(n);
+    sys.y.resize(n);
+    return sys;
+}
+
+/// Past this size, inner CG kernels have enough work to parallelize over
+/// row ranges; below it the two axis solves run concurrently instead
+/// (results are identical either way — only the schedule differs).
+constexpr std::size_t kAxisSplitMax = 4096;
+
+/// One quadratic solve against the prebuilt system: region anchors go into
+/// the diagonal and rhs, then the x and y axes are solved independently.
+/// Returns false when the stage budget fired before both axes converged.
+bool solve_qp(QpSystem& sys, const PlacementNetlist& nl, std::span<const Point> anchor_pos,
               std::span<const double> anchor_w, const GlobalPlacementOptions& opts,
               std::vector<Point>& positions) {
     const std::size_t n = nl.n_cells;
     if (n == 0) return true;
 
-    SparseMatrix::Builder builder(n);
-    std::vector<double> bx(n, 0.0);
-    std::vector<double> by(n, 0.0);
-
-    for (const PlacementNetlist::Net& net : nl.nets) {
-        const std::size_t k = net.pin_count();
-        if (k < 2) continue;
-        const double w = 2.0 / static_cast<double>(k);
-        // Cell-cell springs.
-        for (std::size_t i = 0; i < net.cells.size(); ++i) {
-            for (std::size_t j = i + 1; j < net.cells.size(); ++j) {
-                builder.add_spring(net.cells[i], net.cells[j], w);
-            }
-            // Cell-pad springs (pad is fixed: folds into diagonal + rhs).
-            for (const std::size_t p : net.pads) {
-                builder.add_anchor(net.cells[i], w);
-                bx[net.cells[i]] += w * nl.pad_positions[p].x;
-                by[net.cells[i]] += w * nl.pad_positions[p].y;
-            }
+    parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+            const double w = std::max(anchor_w[c], 1e-9);
+            sys.a.set_anchor(c, w);
+            sys.bx[c] = sys.base_bx[c] + w * anchor_pos[c].x;
+            sys.by[c] = sys.base_by[c] + w * anchor_pos[c].y;
+            sys.x[c] = positions[c].x;
+            sys.y[c] = positions[c].y;
         }
-    }
-    // Region anchors (balance + regularization so the system is SPD even
-    // for cells with no path to a pad).
-    for (std::size_t c = 0; c < n; ++c) {
-        const double w = std::max(anchor_w[c], 1e-9);
-        builder.add_anchor(c, w);
-        bx[c] += w * anchor_pos[c].x;
-        by[c] += w * anchor_pos[c].y;
-    }
+    });
 
-    const SparseMatrix a = std::move(builder).build();
-    std::vector<double> x(n), y(n);
-    for (std::size_t c = 0; c < n; ++c) {
-        x[c] = positions[c].x;
-        y[c] = positions[c].y;
+    CgResult rx, ry;
+    auto solve_x = [&] {
+        rx = conjugate_gradient(sys.a, sys.bx, sys.x, opts.cg_tolerance, opts.cg_max_iters,
+                                opts.budget);
+    };
+    auto solve_y = [&] {
+        ry = conjugate_gradient(sys.a, sys.by, sys.y, opts.cg_tolerance, opts.cg_max_iters,
+                                opts.budget);
+    };
+    if (n <= kAxisSplitMax) {
+        // Small systems: the two axes run concurrently (each CG serial).
+        parallel_invoke(solve_x, solve_y);
+    } else {
+        // Large systems: sequential axes, parallel SpMV/dot kernels — the
+        // whole pool works on one solve instead of idling behind two lanes.
+        solve_x();
+        solve_y();
     }
-    const CgResult rx = conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters,
-                                           opts.budget);
-    const CgResult ry = conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters,
-                                           opts.budget);
-    for (std::size_t c = 0; c < n; ++c) positions[c] = {x[c], y[c]};
+    parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) positions[c] = {sys.x[c], sys.y[c]};
+    });
     return !rx.budget_exhausted && !ry.budget_exhausted;
 }
 
@@ -95,7 +175,8 @@ GlobalPlacement place_quadratic(const PlacementNetlist& nl, const Rect& region,
     out.positions.assign(nl.n_cells, region.center());
     std::vector<Point> anchor_pos(nl.n_cells, region.center());
     std::vector<double> anchor_w(nl.n_cells, opts.anchor_weight * 1e-3);
-    out.budget_exhausted = !solve_qp(nl, anchor_pos, anchor_w, opts, out.positions);
+    QpSystem sys = build_qp_system(nl);
+    out.budget_exhausted = !solve_qp(sys, nl, anchor_pos, anchor_w, opts, out.positions);
     return out;
 }
 
@@ -108,7 +189,8 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
     // style): regions are split along their longer side, cells are divided
     // by their current coordinate so each half receives (close to) half the
     // cell area, then the whole system is re-solved with every cell pulled
-    // toward its region center.
+    // toward its region center. The connectivity Laplacian is shared across
+    // all rounds; only the anchor diagonal changes (see QpSystem).
     std::vector<Region> regions(1);
     regions[0].rect = region;
     regions[0].cells.resize(nl.n_cells);
@@ -117,6 +199,7 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
     double anchor = opts.anchor_weight;
     std::vector<Point> anchor_pos(nl.n_cells, region.center());
     std::vector<double> anchor_w(nl.n_cells, 0.0);
+    QpSystem sys = build_qp_system(nl);
 
     while (true) {
         // Budget guard: stop refining and keep the coarser (still legal)
@@ -125,46 +208,74 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
             out.budget_exhausted = true;
             break;
         }
+        // Split every oversized region. Region splits are independent (the
+        // per-region cell sort dominates), so they run in parallel; results
+        // land in per-region slots and are concatenated in region order, so
+        // the refinement sequence matches the serial one exactly.
+        struct SplitOut {
+            bool split = false;
+            Region lo, hi;      // when split
+            Region keep;        // when kept as-is
+        };
+        std::vector<SplitOut> splits(regions.size());
+        parallel_for(
+            0, regions.size(),
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t ri = begin; ri < end; ++ri) {
+                    Region& r = regions[ri];
+                    SplitOut& s = splits[ri];
+                    if (r.cells.size() <= opts.max_cells_per_region) {
+                        s.keep = std::move(r);
+                        continue;
+                    }
+                    s.split = true;
+                    const bool split_x = r.rect.width() >= r.rect.height();
+                    std::sort(r.cells.begin(), r.cells.end(),
+                              [&](std::size_t a, std::size_t b) {
+                                  return split_x ? out.positions[a].x < out.positions[b].x
+                                                 : out.positions[a].y < out.positions[b].y;
+                              });
+                    // Area-balanced cut point.
+                    double total = 0.0;
+                    for (const std::size_t c : r.cells) total += nl.cell_area[c];
+                    double acc = 0.0;
+                    std::size_t cut = 0;
+                    while (cut < r.cells.size() &&
+                           acc + nl.cell_area[r.cells[cut]] / 2.0 < total / 2.0) {
+                        acc += nl.cell_area[r.cells[cut]];
+                        ++cut;
+                    }
+                    cut = std::clamp<std::size_t>(cut, 1, r.cells.size() - 1);
+                    const double frac = total > 0 ? acc / total : 0.5;
+
+                    if (split_x) {
+                        const double split_at = r.rect.ll.x + r.rect.width() * frac;
+                        s.lo.rect = {r.rect.ll, {split_at, r.rect.ur.y}};
+                        s.hi.rect = {{split_at, r.rect.ll.y}, r.rect.ur};
+                    } else {
+                        const double split_at = r.rect.ll.y + r.rect.height() * frac;
+                        s.lo.rect = {r.rect.ll, {r.rect.ur.x, split_at}};
+                        s.hi.rect = {{r.rect.ll.x, split_at}, r.rect.ur};
+                    }
+                    s.lo.cells.assign(r.cells.begin(),
+                                      r.cells.begin() + static_cast<std::ptrdiff_t>(cut));
+                    s.hi.cells.assign(r.cells.begin() + static_cast<std::ptrdiff_t>(cut),
+                                      r.cells.end());
+                }
+            },
+            /*grain=*/1);
+
         bool any_split = false;
         std::vector<Region> next;
         next.reserve(regions.size() * 2);
-        for (Region& r : regions) {
-            if (r.cells.size() <= opts.max_cells_per_region) {
-                next.push_back(std::move(r));
-                continue;
-            }
-            any_split = true;
-            const bool split_x = r.rect.width() >= r.rect.height();
-            std::sort(r.cells.begin(), r.cells.end(), [&](std::size_t a, std::size_t b) {
-                return split_x ? out.positions[a].x < out.positions[b].x
-                               : out.positions[a].y < out.positions[b].y;
-            });
-            // Area-balanced cut point.
-            double total = 0.0;
-            for (const std::size_t c : r.cells) total += nl.cell_area[c];
-            double acc = 0.0;
-            std::size_t cut = 0;
-            while (cut < r.cells.size() && acc + nl.cell_area[r.cells[cut]] / 2.0 < total / 2.0) {
-                acc += nl.cell_area[r.cells[cut]];
-                ++cut;
-            }
-            cut = std::clamp<std::size_t>(cut, 1, r.cells.size() - 1);
-            const double frac = total > 0 ? acc / total : 0.5;
-
-            Region lo, hi;
-            if (split_x) {
-                const double split_at = r.rect.ll.x + r.rect.width() * frac;
-                lo.rect = {r.rect.ll, {split_at, r.rect.ur.y}};
-                hi.rect = {{split_at, r.rect.ll.y}, r.rect.ur};
+        for (SplitOut& s : splits) {
+            if (s.split) {
+                any_split = true;
+                next.push_back(std::move(s.lo));
+                next.push_back(std::move(s.hi));
             } else {
-                const double split_at = r.rect.ll.y + r.rect.height() * frac;
-                lo.rect = {r.rect.ll, {r.rect.ur.x, split_at}};
-                hi.rect = {{r.rect.ll.x, split_at}, r.rect.ur};
+                next.push_back(std::move(s.keep));
             }
-            lo.cells.assign(r.cells.begin(), r.cells.begin() + static_cast<std::ptrdiff_t>(cut));
-            hi.cells.assign(r.cells.begin() + static_cast<std::ptrdiff_t>(cut), r.cells.end());
-            next.push_back(std::move(lo));
-            next.push_back(std::move(hi));
         }
         regions = std::move(next);
         if (!any_split) break;
@@ -176,7 +287,7 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
                 anchor_w[c] = anchor;
             }
         }
-        if (!solve_qp(nl, anchor_pos, anchor_w, opts, out.positions)) {
+        if (!solve_qp(sys, nl, anchor_pos, anchor_w, opts, out.positions)) {
             out.budget_exhausted = true;
             break;
         }

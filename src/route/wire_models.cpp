@@ -22,12 +22,14 @@ double steiner_estimate(std::span<const Point> pins) {
     return half_perimeter_wirelength(pins) * chung_hwang_factor(pins.size());
 }
 
-double rectilinear_mst_length(std::span<const Point> pins) {
+double rectilinear_mst_length(std::span<const Point> pins, WireScratch& scratch) {
     const std::size_t n = pins.size();
     if (n < 2) return 0.0;
     // Prim with dense distance scan: fine for net degrees in this domain.
-    std::vector<double> best(n, std::numeric_limits<double>::max());
-    std::vector<bool> used(n, false);
+    std::vector<double>& best = scratch.best;
+    std::vector<char>& used = scratch.used;
+    best.assign(n, std::numeric_limits<double>::max());
+    used.assign(n, 0);
     best[0] = 0.0;
     double total = 0.0;
     for (std::size_t step = 0; step < n; ++step) {
@@ -35,7 +37,7 @@ double rectilinear_mst_length(std::span<const Point> pins) {
         for (std::size_t i = 0; i < n; ++i) {
             if (!used[i] && (u == n || best[i] < best[u])) u = i;
         }
-        used[u] = true;
+        used[u] = 1;
         total += best[u];
         for (std::size_t v = 0; v < n; ++v) {
             if (!used[v]) best[v] = std::min(best[v], manhattan(pins[u], pins[v]));
@@ -44,14 +46,24 @@ double rectilinear_mst_length(std::span<const Point> pins) {
     return total;
 }
 
-double net_wirelength(std::span<const Point> pins, WireModel model) {
+double rectilinear_mst_length(std::span<const Point> pins) {
+    WireScratch scratch;
+    return rectilinear_mst_length(pins, scratch);
+}
+
+double net_wirelength(std::span<const Point> pins, WireModel model, WireScratch& scratch) {
     switch (model) {
         case WireModel::SteinerHpwl:
             return steiner_estimate(pins);
         case WireModel::SpanningTree:
-            return rectilinear_mst_length(pins);
+            return rectilinear_mst_length(pins, scratch);
     }
     return 0.0;
+}
+
+double net_wirelength(std::span<const Point> pins, WireModel model) {
+    WireScratch scratch;
+    return net_wirelength(pins, model, scratch);
 }
 
 }  // namespace lily

@@ -9,12 +9,21 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/geometry.hpp"
 
 namespace lily {
 
 enum class WireModel : std::uint8_t { SteinerHpwl, SpanningTree };
+
+/// Reusable working storage for the MST estimator, for hot callers (the
+/// Lily DP evaluates thousands of candidate nets). Not thread-safe; give
+/// each concurrent evaluator its own.
+struct WireScratch {
+    std::vector<double> best;
+    std::vector<char> used;
+};
 
 /// Pin-count correction factor applied to the half perimeter. 1.0 for nets
 /// of up to 3 pins (where HPWL is exact for the Steiner length), growing
@@ -26,8 +35,12 @@ double steiner_estimate(std::span<const Point> pins);
 
 /// Rectilinear minimum spanning tree length (Prim, O(n^2)).
 double rectilinear_mst_length(std::span<const Point> pins);
+/// Same result, reusing the caller's scratch buffers (no allocation).
+double rectilinear_mst_length(std::span<const Point> pins, WireScratch& scratch);
 
 /// Dispatch on the model.
 double net_wirelength(std::span<const Point> pins, WireModel model);
+/// Same result, reusing the caller's scratch buffers (no allocation).
+double net_wirelength(std::span<const Point> pins, WireModel model, WireScratch& scratch);
 
 }  // namespace lily

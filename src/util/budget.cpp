@@ -33,11 +33,11 @@ StageBudget StageBudget::stage(double ms, const StageBudget& parent) {
 
 bool StageBudget::exhausted() const {
     if (has_deadline_ && Clock::now() >= deadline_) return true;
-    return max_ticks_ != 0 && used_ >= max_ticks_;
+    return max_ticks_ != 0 && used_.load(std::memory_order_relaxed) >= max_ticks_;
 }
 
 bool StageBudget::tick(std::size_t n) {
-    used_ += n;
+    used_.fetch_add(n, std::memory_order_relaxed);
     return !exhausted();
 }
 
@@ -57,7 +57,7 @@ std::string StageBudget::describe() const {
     }
     if (max_ticks_ != 0) {
         if (!s.empty()) s += ", ";
-        s += std::to_string(used_) + "/" + std::to_string(max_ticks_) + " iterations";
+        s += std::to_string(ticks_used()) + "/" + std::to_string(max_ticks_) + " iterations";
     }
     return s;
 }

@@ -10,6 +10,7 @@
 // to the pre-budget code.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <string>
@@ -26,6 +27,25 @@ public:
     /// `ms <= 0` or `iters == 0` leaves that dimension unlimited.
     explicit StageBudget(double ms, std::size_t iters = 0);
 
+    // Copyable despite the atomic tick counter (budgets are passed by value
+    // through option structs); a copy starts from the source's current
+    // consumption. Copying a budget that other threads are actively ticking
+    // is not meaningful and not supported.
+    StageBudget(const StageBudget& other)
+        : start_(other.start_),
+          deadline_(other.deadline_),
+          has_deadline_(other.has_deadline_),
+          max_ticks_(other.max_ticks_),
+          used_(other.used_.load(std::memory_order_relaxed)) {}
+    StageBudget& operator=(const StageBudget& other) {
+        start_ = other.start_;
+        deadline_ = other.deadline_;
+        has_deadline_ = other.has_deadline_;
+        max_ticks_ = other.max_ticks_;
+        used_.store(other.used_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        return *this;
+    }
+
     static StageBudget deadline_ms(double ms) { return StageBudget(ms); }
     static StageBudget iterations(std::size_t n) { return StageBudget(0.0, n); }
 
@@ -35,16 +55,23 @@ public:
     static StageBudget stage(double ms, const StageBudget& parent);
 
     bool limited() const { return has_deadline_ || max_ticks_ != 0; }
+
+    /// Thread-safe: polled concurrently by worker threads inside the CG
+    /// solver and the partitioner (relaxed atomic reads; the deadline check
+    /// only touches immutable state and the clock).
     bool exhausted() const;
 
     /// Consume `n` iterations; returns true while the budget still has
-    /// headroom (i.e. the caller may run another iteration).
+    /// headroom (i.e. the caller may run another iteration). Thread-safe:
+    /// concurrent ticks never lose counts (relaxed fetch-add) — each caller
+    /// sees the budget as exhausted once the combined consumption crosses
+    /// the cap.
     bool tick(std::size_t n = 1);
 
     double elapsed_ms() const;
     /// Remaining wall-clock in ms; a large positive number when unlimited.
     double remaining_ms() const;
-    std::size_t ticks_used() const { return used_; }
+    std::size_t ticks_used() const { return used_.load(std::memory_order_relaxed); }
 
     /// "deadline 250.0ms (elapsed 31.2ms), 12/100 iterations" — for notes.
     std::string describe() const;
@@ -54,7 +81,7 @@ private:
     Clock::time_point deadline_{};
     bool has_deadline_ = false;
     std::size_t max_ticks_ = 0;  // 0 = unlimited
-    std::size_t used_ = 0;
+    std::atomic<std::size_t> used_{0};
 };
 
 /// Whole-flow wall-clock budget from the LILY_BUDGET_MS environment

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace lily {
 
 void SparseMatrix::Builder::add(std::size_t i, std::size_t j, double v) {
@@ -18,6 +20,17 @@ void SparseMatrix::Builder::add_spring(std::size_t i, std::size_t j, double v) {
     add(j, i, -v);
 }
 
+void SparseMatrix::Builder::add_anchor_slot(std::size_t i) {
+    assert(i < n_);
+    triplets_.push_back({i, i, 0.0, /*anchor_slot=*/true});
+}
+
+void SparseMatrix::Builder::merge(Builder&& other) {
+    assert(other.n_ == n_);
+    triplets_.insert(triplets_.end(), other.triplets_.begin(), other.triplets_.end());
+    other.triplets_.clear();
+}
+
 SparseMatrix SparseMatrix::Builder::build() && {
     std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
         return a.row != b.row ? a.row < b.row : a.col < b.col;
@@ -27,37 +40,87 @@ SparseMatrix SparseMatrix::Builder::build() && {
     m.n_ = n_;
     m.row_start_.assign(n_ + 1, 0);
     m.diag_.assign(n_, 0.0);
-    // Merge duplicates while copying into CSR form.
+    m.diag_pos_.assign(n_, kNoEntry);
+    m.anchor_slot_.assign(n_, 0);
+    m.anchor_prefix_.assign(n_, 0.0);
+    m.anchor_tail_start_.assign(n_ + 1, 0);
+    // Merge duplicates while copying into CSR form. The fold order within
+    // each (row, col) group is whatever permutation the (unstable) sort
+    // produced; set_anchor must replay exactly that order, so record the
+    // pre-slot fold and the post-slot values as we go.
     for (std::size_t k = 0; k < triplets_.size();) {
         const std::size_t row = triplets_[k].row;
         const std::size_t col = triplets_[k].col;
         double sum = 0.0;
+        bool slot_seen = false;
         while (k < triplets_.size() && triplets_[k].row == row && triplets_[k].col == col) {
+            if (row == col) {
+                if (triplets_[k].anchor_slot) {
+                    assert(!slot_seen && "at most one anchor slot per row");
+                    slot_seen = true;
+                    m.anchor_slot_[row] = 1;
+                    m.anchor_prefix_[row] = sum;
+                } else if (slot_seen) {
+                    m.anchor_tail_vals_.push_back(triplets_[k].value);
+                }
+            }
             sum += triplets_[k].value;
             ++k;
+        }
+        if (row == col) {
+            m.diag_[row] = sum;
+            m.diag_pos_[row] = m.val_.size();
+            m.anchor_tail_start_[row + 1] = m.anchor_tail_vals_.size();
         }
         m.col_.push_back(col);
         m.val_.push_back(sum);
         ++m.row_start_[row + 1];
-        if (row == col) m.diag_[row] = sum;
+    }
+    // anchor_tail_start_ was only written at diagonal groups; make it a
+    // proper running offset for every row.
+    for (std::size_t r = 0; r < n_; ++r) {
+        m.anchor_tail_start_[r + 1] =
+            std::max(m.anchor_tail_start_[r + 1], m.anchor_tail_start_[r]);
     }
     for (std::size_t r = 0; r < n_; ++r) m.row_start_[r + 1] += m.row_start_[r];
     return m;
 }
 
+void SparseMatrix::set_diagonal(std::size_t i, double value) {
+    assert(i < n_ && diag_pos_[i] != kNoEntry);
+    val_[diag_pos_[i]] = value;
+    diag_[i] = value;
+}
+
+void SparseMatrix::set_anchor(std::size_t i, double w) {
+    assert(i < n_ && anchor_slot_[i] != 0 && diag_pos_[i] != kNoEntry);
+    double s = anchor_prefix_[i] + w;
+    for (std::size_t k = anchor_tail_start_[i]; k < anchor_tail_start_[i + 1]; ++k) {
+        s += anchor_tail_vals_[k];
+    }
+    val_[diag_pos_[i]] = s;
+    diag_[i] = s;
+}
+
 void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
     assert(x.size() == n_ && y.size() == n_);
-    for (std::size_t r = 0; r < n_; ++r) {
-        double acc = 0.0;
-        for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-            acc += val_[k] * x[col_[k]];
+    parallel_for(0, n_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+            double acc = 0.0;
+            for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+                acc += val_[k] * x[col_[k]];
+            }
+            y[r] = acc;
         }
-        y[r] = acc;
-    }
+    });
 }
 
 namespace {
 
+/// Dot products stay strictly serial: CG steers by these scalars, so any
+/// change in summation order (e.g. chunked partials) perturbs every
+/// subsequent iterate and un-pins the committed bench tables. The O(n)
+/// cost is noise next to the parallel O(nnz) SpMV.
 double dot(std::span<const double> a, std::span<const double> b) {
     double s = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
@@ -74,16 +137,20 @@ CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
 
     std::vector<double> r(n), z(n), p(n), ap(n);
     a.multiply(x, ap);
-    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+    parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) r[i] = b[i] - ap[i];
+    });
 
     const double b_norm = std::sqrt(dot(b, b));
     const double stop = tol * std::max(1.0, b_norm);
 
     auto precondition = [&](std::span<const double> in, std::span<double> out) {
-        for (std::size_t i = 0; i < n; ++i) {
-            const double d = a.diagonal(i);
-            out[i] = d > 0.0 ? in[i] / d : in[i];
-        }
+        parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double d = a.diagonal(i);
+                out[i] = d > 0.0 ? in[i] / d : in[i];
+            }
+        });
     };
 
     precondition(r, z);
@@ -107,10 +174,12 @@ CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
         const double p_ap = dot(p, ap);
         if (p_ap <= 0.0) break;  // matrix not SPD along p; bail out
         const double alpha = rz / p_ap;
-        for (std::size_t i = 0; i < n; ++i) {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
+        parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+        });
         result.iterations = it + 1;
         result.residual_norm = std::sqrt(dot(r, r));
         if (result.residual_norm <= stop) {
@@ -121,7 +190,9 @@ CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
         const double rz_next = dot(r, z);
         const double beta = rz_next / rz;
         rz = rz_next;
-        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+        });
     }
     return result;
 }

@@ -34,6 +34,18 @@ public:
         /// Add v to the diagonal entry (i,i): a spring to a fixed location.
         void add_anchor(std::size_t i, double v) { add(i, i, v); }
 
+        /// Reserve a refreshable anchor slot on diagonal i (at most one per
+        /// row). The built matrix records exactly where this triplet lands
+        /// in the duplicate-merge summation order, so set_anchor can later
+        /// swap in a new weight and refold the diagonal bit-identically to
+        /// a full rebuild with that weight.
+        void add_anchor_slot(std::size_t i);
+
+        /// Append another builder's entries (in their original order) —
+        /// used to stitch per-chunk assemblies back together so a parallel
+        /// build produces the same triplet sequence as a serial one.
+        void merge(Builder&& other);
+
         SparseMatrix build() &&;
 
     private:
@@ -42,26 +54,62 @@ public:
             std::size_t row;
             std::size_t col;
             double value;
+            bool anchor_slot = false;
         };
         std::size_t n_;
         std::vector<Triplet> triplets_;
     };
 
+    /// Empty 0x0 matrix; assign from Builder::build() to populate.
+    SparseMatrix() = default;
+
     std::size_t size() const { return n_; }
 
-    /// y = A x.
+    /// y = A x. Parallelized over row ranges (per-row sums are serial, so
+    /// the result is bit-identical for any thread count).
     void multiply(std::span<const double> x, std::span<double> y) const;
 
     double diagonal(std::size_t i) const { return diag_[i]; }
 
+    /// True when row i has an explicit (i, i) entry — required before
+    /// set_diagonal. Reserve the slot with add_anchor(i, 0.0) at build time.
+    bool has_diagonal_entry(std::size_t i) const { return diag_pos_[i] != kNoEntry; }
+
+    /// Overwrite the (i, i) entry with `value` wholesale. Note this does
+    /// NOT reproduce a rebuild's rounding when the diagonal has multiple
+    /// contributions — use an anchor slot + set_anchor for that.
+    void set_diagonal(std::size_t i, double value);
+
+    /// True when add_anchor_slot(i) reserved a refreshable slot on row i.
+    bool has_anchor_slot(std::size_t i) const { return anchor_slot_[i] != 0; }
+
+    /// Set the anchor-slot weight on diagonal i to `w` and refold the
+    /// (i, i) entry. This is the incremental update the placer's per-round
+    /// Laplacian hoist relies on: between partitioning rounds only the
+    /// anchor weights change, so the connectivity triplets are built and
+    /// sorted once. Because std::sort is unstable, the slot's triplet can
+    /// land anywhere among the duplicates summed into (i, i); build()
+    /// records the fold prefix before the slot and the values after it, so
+    /// the refreshed sum is bit-identical to re-assembling every triplet
+    /// with the new weight.
+    void set_anchor(std::size_t i, double w);
+
 private:
-    SparseMatrix() = default;
+    static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
 
     std::size_t n_ = 0;
     std::vector<std::size_t> row_start_;  // n_ + 1 entries
     std::vector<std::size_t> col_;
     std::vector<double> val_;
     std::vector<double> diag_;
+    std::vector<std::size_t> diag_pos_;   // index into val_, kNoEntry if absent
+    // Anchor-slot refold data (see set_anchor): the left-fold of the
+    // duplicate values summed into (i, i) before the slot's triplet, and
+    // the values after it in summation order (CSR layout).
+    std::vector<char> anchor_slot_;
+    std::vector<double> anchor_prefix_;
+    std::vector<std::size_t> anchor_tail_start_;  // n_ + 1 entries
+    std::vector<double> anchor_tail_vals_;
 };
 
 /// Result of a conjugate-gradient solve.
@@ -76,6 +124,10 @@ struct CgResult {
 /// in and the solution out. Stops when ||r|| <= tol * max(1, ||b||), after
 /// max_iters iterations, or — best-effort, with the partial iterate left in
 /// `x` — when the optional `budget` exhausts.
+///
+/// The SpMV, dot-product and vector-update kernels are parallelized over
+/// fixed-grain row ranges with ordered reductions, so the iterates (and the
+/// converged solution) are bit-identical for any LILY_THREADS value.
 CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
                             std::span<double> x, double tol = 1e-10,
                             std::size_t max_iters = 10'000, StageBudget* budget = nullptr);
