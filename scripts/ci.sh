@@ -79,6 +79,21 @@ echo "+ $LINT --flow (expect 'flow: clean')"
 "$LINT" --flow --quiet examples/circuits/parity8.blif lib/msu_big.genlib \
   | grep -q "^flow: clean"
 
+# ---- ECO smoke: incremental pipeline + stale-epoch probe ---------------
+# A small local delta must be absorbed incrementally with the maintained
+# netlist staying equivalent, and a corrupted version stamp must be
+# rejected (lily_lint exits 0 exactly when the rejection happened).
+run "$LINT" --eco=3 --quiet examples/circuits/parity8.blif lib/msu_big.genlib
+run "$LINT" --inject=eco:stale-epoch --quiet \
+    examples/circuits/parity8.blif lib/msu_big.genlib
+
+# ---- ECO scaling gate (release build: timing comparison) ---------------
+# A 1%-of-nodes local edit must reach a 5x speedup over the full reflow,
+# with every sweep row simulation-equivalent to its source network.
+run build-ci-release/bench/eco_scaling --gate=5 --out=BENCH_eco.json
+echo "+ BENCH_eco.json:"
+cat BENCH_eco.json
+
 # ---- Perf smoke: calibrated regression + determinism check -------------
 # perf_scaling runs the full Lily flow single- and multi-threaded, writes
 # BENCH_perf.json, and exits non-zero if (a) multi-threaded output is not

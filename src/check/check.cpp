@@ -32,6 +32,7 @@ const char* to_string(CheckStage stage) {
         case CheckStage::Match: return "match";
         case CheckStage::Placement: return "placement";
         case CheckStage::Mapped: return "mapped";
+        case CheckStage::Pipeline: return "pipeline";
     }
     return "?";
 }

@@ -41,6 +41,7 @@ enum class CheckStage : std::uint8_t {
     Match,      // pattern matches / covers
     Placement,  // global+detailed placement, pads
     Mapped,     // mapped gate netlist, timing
+    Pipeline,   // cross-stage artifact versioning (ECO staleness)
 };
 
 const char* to_string(CheckStage stage);

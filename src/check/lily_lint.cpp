@@ -22,6 +22,13 @@
 //                              the run is degraded (the diagnostics say
 //                              so); non-zero only when no rung of the
 //                              recovery ladder produced a result.
+//     --eco=<n-edits>          ECO smoke mode: build the incremental
+//                              pipeline, apply a random local delta of
+//                              n edits, and audit the maintained artifacts
+//                              (reuse ratios, version stamps, simulation
+//                              equivalence). With --inject=eco:stale-epoch
+//                              the run passes when the corrupted version
+//                              stamp is rejected with InvariantViolation.
 //     --budget-ms=<n>          whole-flow wall-clock budget (flow mode)
 //     --max-match-nodes=<n>    bound the per-node match audit (0 = all)
 //     --quiet                  suppress per-issue lines, print summary only
@@ -36,6 +43,8 @@
 
 #include "check/check.hpp"
 #include "check/mapped_checker.hpp"
+#include "flow/pipeline.hpp"
+#include "netlist/simulate.hpp"
 #include "check/match_checker.hpp"
 #include "check/network_checker.hpp"
 #include "check/placement_checker.hpp"
@@ -61,16 +70,19 @@ struct LintArgs {
     bool flow_mode = false;
     FlowKind flow_kind = FlowKind::Lily;
     double budget_ms = 0.0;
+    bool eco_mode = false;
+    std::size_t eco_edits = 0;
 };
 
 void usage(std::FILE* to) {
     std::fputs(
         "usage: lily_lint [--level=light|paranoid] [--inject=kind] "
-        "[--flow[=lily|baseline|adaptive]] [--budget-ms=N] "
+        "[--flow[=lily|baseline|adaptive]] [--eco=N] [--budget-ms=N] "
         "[--max-match-nodes=N] [--quiet] <circuit.blif> <library.genlib>\n"
         "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n"
         "  fault specs (imply --flow): parser:skip-gate placement:diverge "
-        "matcher:no-match router:overbudget\n",
+        "matcher:no-match router:overbudget\n"
+        "  fault specs (imply --eco): eco:stale-epoch\n",
         to);
 }
 
@@ -92,7 +104,8 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                 // flow engine's injection registry rather than local
                 // corruption; they only make sense in flow mode.
                 static const char* kFaults[] = {"parser:skip-gate", "placement:diverge",
-                                                "matcher:no-match", "router:overbudget"};
+                                                "matcher:no-match", "router:overbudget",
+                                                "eco:stale-epoch"};
                 bool known = false;
                 for (const char* f : kFaults) known = known || out.inject == f;
                 if (!known) {
@@ -101,7 +114,13 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                     return false;
                 }
                 set_fault_spec(out.inject);
-                out.flow_mode = true;
+                if (out.inject == "eco:stale-epoch") {
+                    // This probe only fires inside run_eco_flow_checked.
+                    out.eco_mode = true;
+                    if (out.eco_edits == 0) out.eco_edits = 2;
+                } else {
+                    out.flow_mode = true;
+                }
             } else {
                 static const char* kKinds[] = {"cycle", "offchip", "badpad", "wrong-cover",
                                                "dup-drive"};
@@ -127,6 +146,13 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                     std::fprintf(stderr, "lily_lint: unknown flow kind '%s'\n", kind.c_str());
                     return false;
                 }
+            }
+        } else if (arg.rfind("--eco=", 0) == 0) {
+            out.eco_mode = true;
+            out.eco_edits = static_cast<std::size_t>(std::stoull(arg.substr(6)));
+            if (out.eco_edits == 0) {
+                std::fprintf(stderr, "lily_lint: --eco needs at least one edit\n");
+                return false;
             }
         } else if (arg.rfind("--budget-ms=", 0) == 0) {
             out.budget_ms = std::stod(arg.substr(12));
@@ -192,6 +218,59 @@ int run_flow_mode(const LintArgs& args) {
     return 0;
 }
 
+/// ECO smoke mode: build the incremental pipeline from the input circuit,
+/// apply one random local delta, and audit the maintained artifacts. With
+/// the eco:stale-epoch fault injected the expected outcome inverts: the
+/// corrupted version stamp must be rejected with InvariantViolation.
+int run_eco_mode(const LintArgs& args) {
+    Network net("lint");
+    Library lib;
+    try {
+        net = read_blif_file(args.blif_path);
+        lib = read_genlib_file(args.genlib_path);
+        lib.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lily_lint: %s\n", e.what());
+        return 2;
+    }
+
+    StatusOr<PipelineState> built = build_pipeline(net, lib);
+    if (!built.is_ok()) {
+        std::fprintf(stderr, "lily_lint: build_pipeline failed: %s\n",
+                     built.status().to_string().c_str());
+        return 1;
+    }
+    PipelineState state = std::move(built).value();
+    const NetDelta delta = local_delta(state.net, args.eco_edits, 0xEC0);
+    const StatusOr<EcoStats> eco = run_eco_flow_checked(state, delta);
+
+    if (args.inject == "eco:stale-epoch") {
+        if (!eco.is_ok() && eco.status().code() == StatusCode::InvariantViolation) {
+            std::printf("eco: stale version stamp rejected as expected (%s)\n",
+                        eco.status().to_string().c_str());
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "lily_lint: eco:stale-epoch fault was NOT rejected (checker gap)\n");
+        return 1;
+    }
+    if (!eco.is_ok()) {
+        std::fprintf(stderr, "lily_lint: eco flow failed: %s\n",
+                     eco.status().to_string().c_str());
+        return 1;
+    }
+    const EcoStats& s = eco.value();
+    if (!args.quiet) std::fputs(s.diagnostics.to_string().c_str(), stdout);
+    std::printf("eco: %zu edit(s), reuse map %.2f place %.2f timing %.2f%s\n", args.eco_edits,
+                s.map_reuse_ratio(), s.place_reuse_ratio(), s.timing_reuse_ratio(),
+                s.full_reflow ? " (full reflow)" : "");
+    const bool equivalent =
+        equivalent_random(state.net, state.flow.netlist.to_network(lib), 8, 0xEC0);
+    std::printf("eco: maintained netlist %s the edited circuit\n",
+                equivalent ? "matches" : "DOES NOT match");
+    return equivalent ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +279,7 @@ int main(int argc, char** argv) {
         usage(stderr);
         return 2;
     }
+    if (args.eco_mode) return run_eco_mode(args);
     if (args.flow_mode) return run_flow_mode(args);
     const bool paranoid = args.level == CheckLevel::Paranoid;
 

@@ -1,0 +1,28 @@
+#include "check/pipeline_checker.hpp"
+
+namespace lily {
+
+CheckReport PipelineChecker::check(std::span<const StageVersionRecord> records) const {
+    CheckReport rep;
+    for (const StageVersionRecord& r : records) {
+        if (r.built_from == kNeverBuilt) {
+            rep.error(CheckStage::Pipeline, kNoCheckNode,
+                      "stage '" + r.stage + "' consumed but never built");
+            continue;
+        }
+        if (r.built_from < r.upstream) {
+            rep.error(CheckStage::Pipeline, kNoCheckNode,
+                      "stage '" + r.stage + "' is stale: built from upstream version " +
+                          std::to_string(r.built_from) + " but upstream is at version " +
+                          std::to_string(r.upstream));
+        } else if (r.built_from > r.upstream) {
+            rep.error(CheckStage::Pipeline, kNoCheckNode,
+                      "stage '" + r.stage + "' claims upstream version " +
+                          std::to_string(r.built_from) +
+                          " which does not exist yet (version stamps corrupted)");
+        }
+    }
+    return rep;
+}
+
+}  // namespace lily

@@ -12,18 +12,39 @@ CheckReport SubjectChecker::check(const SubjectGraph& g) const {
     const std::size_t n = g.size();
     const CheckStage stage = CheckStage::Subject;
 
+    // Names live in a side-table keyed by id (anonymous nodes print as
+    // "s<id>", which cannot collide). Check the interned entries: no empty
+    // names, no duplicates, no aliasing of a canonical anonymous name.
+    {
+        std::unordered_map<std::string, SubjectId> names;
+        for (const auto& [id, nm] : g.named_nodes()) {
+            if (id >= n) {
+                rep.error(stage, kNoCheckNode,
+                          "interned name '" + nm + "' for out-of-range node " +
+                              std::to_string(id));
+                continue;
+            }
+            if (nm.empty()) {
+                rep.error(stage, id, "subject node has an empty interned name");
+                continue;
+            }
+            if (const auto [it, inserted] = names.emplace(nm, id); !inserted) {
+                rep.error(stage, id,
+                          "name '" + nm + "' already used by subject node " +
+                              std::to_string(it->second));
+            }
+            if (nm.size() > 1 && nm[0] == 's' &&
+                nm.find_first_not_of("0123456789", 1) == std::string::npos &&
+                nm != "s" + std::to_string(id)) {
+                rep.warning(stage, id,
+                            "interned name '" + nm + "' shadows another node's anonymous name");
+            }
+        }
+    }
+
     std::vector<std::size_t> fanin_refs(n, 0);  // appearances as a fanin
-    std::unordered_map<std::string, SubjectId> names;
     for (SubjectId i = 0; i < n; ++i) {
         const SubjectNode& node = g.node(i);
-
-        if (node.name.empty()) {
-            rep.error(stage, i, "subject node has an empty name");
-        } else if (const auto [it, inserted] = names.emplace(node.name, i); !inserted) {
-            rep.error(stage, i,
-                      "name '" + node.name + "' already used by subject node " +
-                          std::to_string(it->second));
-        }
 
         // The subject graph may only contain the base functions. The kind
         // enum makes other ops unrepresentable, but a corrupted byte (or a

@@ -92,11 +92,13 @@ StageBudget derive_stage_budget(double stage_ms, const StageBudget* total) {
 
 /// Shared back end with diagnostics and the routing rung of the degradation
 /// ladder. `diag` accumulates the caller's earlier stages and is moved onto
-/// the result; `total` (nullable) is the whole-flow budget.
+/// the result; `total` (nullable) is the whole-flow budget. `capture`
+/// (nullable) receives the timing report for the ECO pipeline's seed.
 StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& lib,
                                   const FlowOptions& opts, std::optional<PadsInRegion> pads,
                                   std::optional<std::vector<Point>> seed_positions,
-                                  FlowDiagnostics diag, StageBudget* total) {
+                                  FlowDiagnostics diag, StageBudget* total,
+                                  FlowCapture* capture = nullptr) {
     FlowResult out;
     out.netlist = mapped;
 
@@ -161,6 +163,7 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
     }
     out.final_positions = detailed.positions;
     out.pad_positions = view.netlist.pad_positions;
+    if (capture != nullptr) capture->detailed = detailed;
 
     // ---- Routing stage, with the HPWL rung of the ladder: an injected
     // router:overbudget fault or a flow budget already spent means routed
@@ -205,6 +208,7 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
 
     const ChipAreaEstimate chip =
         estimate_chip_area(view.netlist.total_cell_area(), routed, opts.chip);
+    if (capture != nullptr) capture->routed = routed;
 
     t0 = FlowClock::now();
     const TimingReport timing =
@@ -214,6 +218,7 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
         td.elapsed_ms += ms_since(t0);
         if (td.state == StageState::NotRun) td.state = StageState::Ok;
     }
+    if (capture != nullptr) capture->timing = timing;
 
     if (opts.check != CheckLevel::Off) {
         LILY_RETURN_IF_ERROR(guarded_check([&] {
@@ -324,7 +329,7 @@ FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowO
 }
 
 StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
-                                           const FlowOptions& opts) {
+                                           const FlowOptions& opts, FlowCapture* capture) {
     // Pipeline 2: pads first, then placement-coupled mapping.
     ThreadPool::global().resize(opts.threads);
     FlowDiagnostics diag;
@@ -391,8 +396,14 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
             verify_mapped(opts.check, lib, fallback->netlist, net,
                           "run_lily_flow: fallback mapping");
         }));
-        return backend_impl(fallback->netlist, lib, opts, std::nullopt, std::nullopt,
-                            std::move(diag), totalp);
+        StatusOr<FlowResult> out = backend_impl(fallback->netlist, lib, opts, std::nullopt,
+                                                std::nullopt, std::move(diag), totalp, capture);
+        if (out.is_ok() && capture != nullptr) {
+            capture->subject = std::move(*sub);
+            capture->lily = LilyResult{};
+            capture->used_baseline_fallback = true;
+        }
+        return out;
     }
 
     const LilyResult& res = mapped.value();
@@ -428,8 +439,15 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
     // Reuse the pre-mapping pad assignment for the back end; the pad ring
     // was chosen on the inchoate region, so pass that region for rescaling.
     PadsInRegion pads{res.pad_positions, res.inchoate_placement.region};
-    return backend_impl(res.netlist, lib, opts, std::move(pads), res.instance_positions,
-                        std::move(diag), totalp);
+    StatusOr<FlowResult> out = backend_impl(res.netlist, lib, opts, std::move(pads),
+                                            res.instance_positions, std::move(diag), totalp,
+                                            capture);
+    if (out.is_ok() && capture != nullptr) {
+        capture->subject = std::move(*sub);
+        capture->lily = std::move(mapped).value();
+        capture->used_baseline_fallback = false;
+    }
+    return out;
 }
 
 FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts) {

@@ -136,13 +136,31 @@ StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library
 FlowResult run_baseline_flow(const Network& net, const Library& lib,
                              const FlowOptions& opts = {});
 
+/// Optional tap for the flow's intermediate artifacts. FlowResult carries
+/// only what metrics reporting needs; the incremental (ECO) pipeline also
+/// needs the subject graph, the mapper's DP state and the timing report to
+/// seed its versioned stage cache from a batch run. When a capture is
+/// passed, the flow moves those artifacts out on success — behavior is
+/// otherwise unchanged, so a captured run is bit-identical to an uncaptured
+/// one.
+struct FlowCapture {
+    DecomposeResult subject;
+    LilyResult lily;  // empty when the run fell back to the baseline mapper
+    bool used_baseline_fallback = false;
+    DetailedPlacement detailed;  // row structure the ECO legalizer extends
+    RouteResult routed;  // replayable plan route_incremental patches
+    TimingReport timing;
+};
+
 /// Pipeline 2: layout-driven (Lily) mapping, with the graceful-degradation
 /// ladder (Status form). A Lily mapping failure falls back to the wire-blind
 /// baseline mapping; routing budget exhaustion falls back to HPWL metrics;
 /// both are recorded in FlowResult::diagnostics. A non-OK return means no
-/// rung of the ladder could produce a usable result.
+/// rung of the ladder could produce a usable result. `capture`, when
+/// non-null, receives the intermediate stage artifacts on success.
 StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
-                                           const FlowOptions& opts = {});
+                                           const FlowOptions& opts = {},
+                                           FlowCapture* capture = nullptr);
 
 /// Pipeline 2, throwing wrapper.
 FlowResult run_lily_flow(const Network& net, const Library& lib, const FlowOptions& opts = {});

@@ -165,6 +165,7 @@ FanoutOptResult optimize_fanout(MappedNetlist& m, const Library& lib,
                     inserted = 2;
                 }
                 result.buffers_added += inserted;
+                m.bump_version();  // instance indices shifted: invalidate driver index
 
                 // Rewire the group's sinks (indices shifted by insertions).
                 for (std::size_t s = start; s < end; ++s) {

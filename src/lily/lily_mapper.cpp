@@ -375,6 +375,114 @@ CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool de
 /// depend on the thread count.
 constexpr std::size_t kCandidateGrain = 2;
 
+/// DP at one gate node: enumerate matches, score every candidate in
+/// parallel against the frozen mapping state, then fold the winner serially
+/// in match order with the original tie-break — the same match wins as in a
+/// serial scan, for any LILY_THREADS value. Shared by the full mapping and
+/// the cone-scoped ECO remap. Unsupported when nothing matches.
+Status solve_node(Ctx& ctx, SubjectId v, bool degraded, bool delay_mode,
+                  bool& matcher_fault_pending) {
+    auto matches = ctx.matcher.matches_at(ctx.g, v, ctx.match_scratch,
+                                          /*base_only=*/degraded);
+    if (matcher_fault_pending) {
+        matches.clear();
+        matcher_fault_pending = false;
+    }
+    if (!degraded) warm_caches(ctx, v, matches);
+    std::vector<CandEval> evals(matches.size());
+    parallel_for(
+        0, matches.size(),
+        [&](std::size_t begin, std::size_t end) {
+            WireScratch wire;
+            for (std::size_t i = begin; i < end; ++i) {
+                const Match& m = matches[i];
+                if (ctx.opts.cover == CoverMode::Trees && !legal_in_tree_mode(ctx.g, m)) {
+                    continue;  // slot stays invalid
+                }
+                evals[i] = evaluate_candidate(ctx, v, m, degraded, delay_mode, wire);
+            }
+        },
+        kCandidateGrain);
+
+    LilyNodeSolution best;
+    double best_key = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        CandEval& e = evals[i];
+        if (!e.valid) continue;
+        if (e.key < best_key ||
+            (e.key == best_key && best.has_match &&
+             e.gate_area < ctx.lib.gate(best.match.gate).area)) {
+            best_key = e.key;
+            e.cand.match = std::move(matches[i]);
+            e.cand.has_match = true;
+            best = std::move(e.cand);
+        }
+    }
+    if (!best.has_match) {
+        return Status(StatusCode::Unsupported,
+                      "LilyMapper: no match at node " + ctx.g.name_of(v));
+    }
+    ctx.sol[v] = std::move(best);
+    return Status::ok();
+}
+
+/// Commit a cone (needed-walk from its root): the chosen matches' roots
+/// become hawks, absorbed nodes become doves. Drops both cache generations
+/// afterwards (dove/hawk membership and hawk mapPositions both changed).
+void commit_cone(Ctx& ctx, SubjectId root) {
+    std::vector<SubjectId> stack;
+    if (ctx.g.node(root).kind != SubjectKind::Input && !ctx.committed[root]) {
+        stack.push_back(root);
+        ctx.committed[root] = true;
+    }
+    while (!stack.empty()) {
+        const SubjectId v = stack.back();
+        stack.pop_back();
+        ctx.state[v] = LifeState::Hawk;  // hawks win over earlier dove state
+        const Match& m = ctx.sol[v].match;
+        for (const SubjectId w : m.covered) {
+            if (w != v && ctx.state[w] != LifeState::Hawk) ctx.state[w] = LifeState::Dove;
+        }
+        for (const SubjectId leaf : m.inputs) {
+            if (ctx.g.node(leaf).kind == SubjectKind::Input || ctx.committed[leaf]) continue;
+            ctx.committed[leaf] = true;
+            stack.push_back(leaf);
+        }
+    }
+    ++ctx.topo_epoch;
+    ++ctx.rect_epoch;
+}
+
+/// Stage 3 of both mapping entry points: extract the cover and the
+/// constructive placement from the finished DP state into `result`.
+void extract_result(Ctx& ctx, bool delay_mode, LilyResult& result) {
+    const SubjectGraph& g = ctx.g;
+    std::vector<NodeSolution> plain(g.size());
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        plain[v].has_match = ctx.sol[v].has_match;
+        plain[v].match = ctx.sol[v].match;
+        plain[v].cost = ctx.sol[v].cost;
+    }
+    result.netlist = extract_cover(g, ctx.lib, plain);
+    result.instance_positions.reserve(result.netlist.gates.size());
+    for (const GateInstance& inst : result.netlist.gates) {
+        result.instance_positions.push_back(ctx.sol[inst.driver].position);
+        result.estimated_wirelength += ctx.sol[inst.driver].local_wire;
+    }
+    result.total_area = result.netlist.total_gate_area(ctx.lib);
+    if (delay_mode) {
+        for (const SubjectOutput& po : g.outputs()) {
+            if (g.node(po.driver).kind == SubjectKind::Input) continue;
+            result.worst_arrival = std::max(result.worst_arrival,
+                                            ctx.sol[po.driver].worst_arrival());
+        }
+    }
+    result.pad_positions = std::move(ctx.pad_pos);
+    result.subject_positions = std::move(ctx.place_pos);
+    result.final_state = std::move(ctx.state);
+    result.solution = std::move(ctx.sol);
+}
+
 }  // namespace
 
 StatusOr<LilyResult> LilyMapper::map_checked(
@@ -465,79 +573,12 @@ StatusOr<LilyResult> LilyMapper::map_checked(
             }
             if (degraded) ++result.degraded_nodes;
 
-            auto matches = matcher_.matches_at(g, v, ctx.match_scratch,
-                                               /*base_only=*/degraded);
-            if (matcher_fault_pending) {
-                matches.clear();
-                matcher_fault_pending = false;
-            }
-            // Candidates are scored in parallel (each evaluation reads the
-            // frozen mapping state and the pre-warmed caches), then the
-            // winner is chosen by a serial fold in match order with the
-            // original tie-break — the same match wins as in a serial scan,
-            // for any LILY_THREADS value.
-            if (!degraded) warm_caches(ctx, v, matches);
-            std::vector<CandEval> evals(matches.size());
-            parallel_for(
-                0, matches.size(),
-                [&](std::size_t begin, std::size_t end) {
-                    WireScratch wire;
-                    for (std::size_t i = begin; i < end; ++i) {
-                        const Match& m = matches[i];
-                        if (opts.cover == CoverMode::Trees && !legal_in_tree_mode(g, m)) {
-                            continue;  // slot stays invalid
-                        }
-                        evals[i] = evaluate_candidate(ctx, v, m, degraded, delay_mode, wire);
-                    }
-                },
-                kCandidateGrain);
-
-            LilyNodeSolution best;
-            double best_key = std::numeric_limits<double>::max();
-            for (std::size_t i = 0; i < evals.size(); ++i) {
-                CandEval& e = evals[i];
-                if (!e.valid) continue;
-                if (e.key < best_key ||
-                    (e.key == best_key && best.has_match &&
-                     e.gate_area < lib_->gate(best.match.gate).area)) {
-                    best_key = e.key;
-                    e.cand.match = std::move(matches[i]);
-                    e.cand.has_match = true;
-                    best = std::move(e.cand);
-                }
-            }
-            if (!best.has_match) {
-                return Status(StatusCode::Unsupported,
-                              "LilyMapper: no match at node " + n.name);
-            }
-            ctx.sol[v] = std::move(best);
+            const Status solved = solve_node(ctx, v, degraded, delay_mode,
+                                             matcher_fault_pending);
+            if (!solved.is_ok()) return solved;
         }
 
-        // ---- Commit the cone (needed-walk from its root): the chosen
-        // matches' roots become hawks, absorbed nodes become doves.
-        std::vector<SubjectId> stack;
-        if (g.node(cone.root).kind != SubjectKind::Input && !ctx.committed[cone.root]) {
-            stack.push_back(cone.root);
-            ctx.committed[cone.root] = true;
-        }
-        while (!stack.empty()) {
-            const SubjectId v = stack.back();
-            stack.pop_back();
-            ctx.state[v] = LifeState::Hawk;  // hawks win over earlier dove state
-            const Match& m = ctx.sol[v].match;
-            for (const SubjectId w : m.covered) {
-                if (w != v && ctx.state[w] != LifeState::Hawk) ctx.state[w] = LifeState::Dove;
-            }
-            for (const SubjectId leaf : m.inputs) {
-                if (g.node(leaf).kind == SubjectKind::Input || ctx.committed[leaf]) continue;
-                ctx.committed[leaf] = true;
-                stack.push_back(leaf);
-            }
-        }
-        // The commit changed dove/hawk states (true-fanout membership) and
-        // gave the new hawks mapPositions: drop both cache generations.
-        ++ctx.topo_epoch;
-        ++ctx.rect_epoch;
+        commit_cone(ctx, cone.root);
 
         // ---- Optional periodic re-placement of the partially mapped
         // network (Section 3.2): hawks are pulled toward their mapPositions,
@@ -573,36 +614,129 @@ StatusOr<LilyResult> LilyMapper::map_checked(
     }
 
     // ---- Stage 3: extract the cover and the constructive placement.
-    std::vector<NodeSolution> plain(g.size());
-    for (SubjectId v = 0; v < g.size(); ++v) {
-        plain[v].has_match = ctx.sol[v].has_match;
-        plain[v].match = ctx.sol[v].match;
-        plain[v].cost = ctx.sol[v].cost;
-    }
-    result.netlist = extract_cover(g, *lib_, plain);
-    result.instance_positions.reserve(result.netlist.gates.size());
-    for (const GateInstance& inst : result.netlist.gates) {
-        result.instance_positions.push_back(ctx.sol[inst.driver].position);
-        result.estimated_wirelength += ctx.sol[inst.driver].local_wire;
-    }
-    result.total_area = result.netlist.total_gate_area(*lib_);
-    if (delay_mode) {
-        for (const SubjectOutput& po : g.outputs()) {
-            if (g.node(po.driver).kind == SubjectKind::Input) continue;
-            result.worst_arrival = std::max(result.worst_arrival,
-                                            ctx.sol[po.driver].worst_arrival());
-        }
-    }
+    extract_result(ctx, delay_mode, result);
     result.inchoate_placement = std::move(inchoate);
-    result.pad_positions = std::move(ctx.pad_pos);
-    result.final_state = std::move(ctx.state);
-    result.solution = std::move(ctx.sol);
     return result;
 }
 
 LilyResult LilyMapper::map(const SubjectGraph& g, const LilyOptions& opts,
                            std::optional<std::vector<Point>> pad_positions) const {
     return map_checked(g, opts, std::move(pad_positions)).take_or_raise();
+}
+
+StatusOr<LilyResult> LilyMapper::remap_checked(const SubjectGraph& g, const LilyRemapSeed& seed,
+                                               const LilyOptions& opts) const {
+    if (seed.prior == nullptr) {
+        return Status(StatusCode::InvariantViolation,
+                      "LilyMapper: remap seed has no prior result");
+    }
+    const LilyResult& prior = *seed.prior;
+    const std::size_t old_n = seed.prior_subject_size;
+    if (old_n > g.size() || prior.solution.size() != old_n ||
+        prior.final_state.size() != old_n || prior.subject_positions.size() != old_n) {
+        return Status(StatusCode::InvariantViolation,
+                      "LilyMapper: remap seed does not match the subject graph");
+    }
+
+    LilyResult result;
+
+    // ---- Stage 0: rebuild the layout view over the extended graph but skip
+    // the global placer — the prior pad placement is reused verbatim (ECO
+    // deltas never change the PI/PO interface) and every old node keeps its
+    // prior placePosition, so unchanged cones see bit-identical wire costs.
+    SubjectPlacementView view = make_placement_view(g);
+    if (prior.pad_positions.size() != view.netlist.pad_positions.size()) {
+        return Status(StatusCode::InvariantViolation,
+                      "LilyMapper: pad interface changed across remap");
+    }
+    std::vector<Point> pads = prior.pad_positions;
+    view.netlist.pad_positions = pads;
+
+    Ctx ctx{g,
+            *lib_,
+            opts,
+            matcher_,
+            std::move(view),
+            std::move(pads),
+            std::vector<Point>(g.size()),
+            std::vector<LifeState>(g.size(), LifeState::Egg),
+            std::vector<LilyNodeSolution>(g.size()),
+            std::vector<std::vector<std::size_t>>(g.size()),
+            std::vector<bool>(g.size(), false),
+            {},
+            0};
+
+    for (SubjectId v = 0; v < old_n; ++v) {
+        ctx.place_pos[v] = prior.subject_positions[v];
+        ctx.state[v] = prior.final_state[v];
+        ctx.sol[v] = prior.solution[v];
+        // Old hawks are final: the commit walk must not re-enter them.
+        ctx.committed[v] = prior.final_state[v] == LifeState::Hawk;
+    }
+    for (SubjectId v = static_cast<SubjectId>(old_n); v < g.size(); ++v) {
+        // New nodes are gates (the interface is fixed), appended after their
+        // fanins: seed each at the centroid of its fanins' positions, the
+        // best placement guess available without a global re-solve.
+        const SubjectNode& n = g.node(v);
+        std::vector<Point> pts;
+        for (unsigned i = 0; i < n.fanin_count(); ++i) pts.push_back(ctx.place_pos[n.fanin(i)]);
+        if (!pts.empty()) ctx.place_pos[v] = center_of_mass(pts);
+    }
+    for (std::size_t o = 0; o < g.outputs().size(); ++o) {
+        ctx.po_pads_of[g.outputs()[o].driver].push_back(ctx.view.pad_of_output(o));
+    }
+
+    // ---- Stage 1+2: cone-scoped DP, dirty cones only. A cone is dirty when
+    // it contains a gate node without a DP solution — exactly the new nodes
+    // plus old nodes that never sat inside a mapped cone (a retargeted PO
+    // can expose those). Clean cones keep their prior cover untouched; the
+    // commit walk from each dirty root re-derives hawk/dove states, and the
+    // final needed-walk in extract_cover drops orphaned old logic.
+    const std::vector<Cone> cones = logic_cones(g);
+    const bool delay_mode = opts.objective == MapObjective::Delay;
+    bool degraded = false;
+    bool matcher_fault_pending = fault_enabled("matcher", "no-match");
+
+    for (std::size_t ci = 0; ci < cones.size(); ++ci) {
+        const Cone& cone = cones[ci];
+        bool dirty = false;
+        for (const SubjectId v : cone.members) {
+            if (g.node(v).kind != SubjectKind::Input && !ctx.sol[v].has_match) {
+                dirty = true;
+                break;
+            }
+        }
+        if (!dirty) continue;
+        result.cone_order.push_back(ci);
+        for (const SubjectId v : cone.members) {
+            if (g.node(v).kind == SubjectKind::Input) continue;
+            if (ctx.sol[v].has_match) continue;  // prior DP solution carries over
+            ctx.state[v] = LifeState::Nestling;
+
+            if (!degraded && opts.budget != nullptr && !opts.budget->tick()) {
+                degraded = true;
+                result.budget_exhausted = true;
+            }
+            if (degraded) ++result.degraded_nodes;
+
+            const Status solved = solve_node(ctx, v, degraded, delay_mode,
+                                             matcher_fault_pending);
+            if (!solved.is_ok()) return solved;
+            ++result.remapped_nodes;
+        }
+        commit_cone(ctx, cone.root);
+    }
+
+    // ---- Stage 3: extraction, identical to the full mapping. Reuse ratio:
+    // solved gate nodes that did not go through the DP this round.
+    std::size_t with_solution = 0;
+    for (SubjectId v = 0; v < g.size(); ++v) {
+        if (g.node(v).kind != SubjectKind::Input && ctx.sol[v].has_match) ++with_solution;
+    }
+    result.reused_nodes = with_solution - result.remapped_nodes;
+    extract_result(ctx, delay_mode, result);
+    result.inchoate_placement = prior.inchoate_placement;  // region + old coordinates
+    return result;
 }
 
 }  // namespace lily

@@ -115,6 +115,10 @@ struct LilyResult {
     std::vector<std::size_t> cone_order;
     std::vector<LifeState> final_state;       // per subject node
     std::vector<LilyNodeSolution> solution;   // per subject node
+    /// placePosition per subject node (the inchoate coordinates the DP read;
+    /// hawks' mapPositions live in `solution`). Kept so an ECO remap can
+    /// resume from the same layout view without re-running the placer.
+    std::vector<Point> subject_positions;
     double total_area = 0.0;
     double estimated_wirelength = 0.0;  // sum of per-match wire costs used
     double worst_arrival = 0.0;         // delay mode
@@ -123,6 +127,20 @@ struct LilyResult {
     /// were covered with base gates only (still a legal cover).
     bool budget_exhausted = false;
     std::size_t degraded_nodes = 0;
+    /// ECO bookkeeping (remap_checked only): nodes re-solved by the
+    /// cone-scoped DP vs. nodes whose DP solution carried over unchanged.
+    std::size_t remapped_nodes = 0;
+    std::size_t reused_nodes = 0;
+};
+
+/// Seed for cone-scoped incremental re-mapping: the previous mapping of the
+/// same (append-only) subject graph lineage plus the graph size it was
+/// produced against. Subject ids below `prior_subject_size` must be
+/// structurally identical in the current graph — exactly what the
+/// structural-hash incremental decomposition guarantees.
+struct LilyRemapSeed {
+    const LilyResult* prior = nullptr;
+    std::size_t prior_subject_size = 0;
 };
 
 class LilyMapper {
@@ -146,6 +164,19 @@ public:
     /// Throwing wrapper around map_checked.
     LilyResult map(const SubjectGraph& g, const LilyOptions& opts = {},
                    std::optional<std::vector<Point>> pad_positions = std::nullopt) const;
+
+    /// Cone-scoped incremental re-mapping for ECO deltas. `g` must extend the
+    /// graph `seed.prior` was mapped against append-only (ids below
+    /// seed.prior_subject_size unchanged). Prior DP solutions, life states,
+    /// pad positions and placePositions are reused verbatim; only cones
+    /// containing unsolved nodes (new subject nodes, or old nodes that were
+    /// never inside a mapped cone) are re-run through the DP, and the commit
+    /// walk re-derives hawks/doves from the current primary outputs. New
+    /// nodes are seeded at the centroid of their fanins' placePositions —
+    /// no global placement runs. Errors mirror map_checked, plus
+    /// InvariantViolation when the seed does not match the graph.
+    StatusOr<LilyResult> remap_checked(const SubjectGraph& g, const LilyRemapSeed& seed,
+                                       const LilyOptions& opts = {}) const;
 
     const Library& library() const { return *lib_; }
 

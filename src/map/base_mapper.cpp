@@ -53,7 +53,7 @@ MapResult BaseMapper::map(const SubjectGraph& g, const BaseMapperOptions& opts) 
             }
         }
         if (!best.has_match) {
-            throw std::runtime_error("BaseMapper: no legal match at node " + n.name);
+            throw std::runtime_error("BaseMapper: no legal match at node " + g.name_of(v));
         }
         result.solution[v] = std::move(best);
     }
@@ -74,7 +74,7 @@ MappedNetlist extract_cover(const SubjectGraph& g, const Library& lib,
     MappedNetlist out;
     for (SubjectId in : g.inputs()) {
         out.subject_inputs.push_back(in);
-        out.subject_input_names.push_back(g.node(in).name);
+        out.subject_input_names.push_back(g.name_of(in));
     }
 
     // Collect the set of needed signals: PO drivers plus, transitively, the

@@ -13,11 +13,12 @@ double MappedNetlist::total_gate_area(const Library& lib) const {
 }
 
 void MappedNetlist::build_index() const {
-    if (driver_index_.size() == gates.size() && !gates.empty()) return;
+    if (index_version_ == version_) return;
     driver_index_.clear();
     driver_index_.reserve(gates.size());
     for (std::size_t i = 0; i < gates.size(); ++i) driver_index_.emplace_back(gates[i].driver, i);
     std::sort(driver_index_.begin(), driver_index_.end());
+    index_version_ = version_;
 }
 
 std::size_t MappedNetlist::instance_driving(SubjectId s) const {

@@ -10,6 +10,7 @@
 #include "match/matcher.hpp"
 #include "netlist/network.hpp"
 #include "subject/subject_graph.hpp"
+#include "util/version.hpp"
 
 namespace lily {
 
@@ -43,9 +44,17 @@ public:
     double total_gate_area(const Library& lib) const;
 
     /// Index of the instance driving subject node `s`, or npos when `s` is a
-    /// subject input (or undriven).
+    /// subject input (or undriven). Served from a lazily built sorted
+    /// driver->instance index keyed to the netlist's version stamp (the old
+    /// size-equality invalidation heuristic missed same-size rewrites).
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
     std::size_t instance_driving(SubjectId s) const;
+
+    /// Structure generation. Any code that mutates `gates` (inserting,
+    /// erasing, reordering, or changing a driver) must call bump_version()
+    /// so instance_driving rebuilds its index instead of serving stale hits.
+    Version version() const { return version_; }
+    void bump_version() { ++version_; }
 
     /// Convert to a Network (gate instances become SOP nodes) so mapped
     /// results can be equivalence-checked against the source network and
@@ -58,6 +67,8 @@ public:
     void check(const Library& lib) const;
 
 private:
+    Version version_ = 1;
+    mutable Version index_version_ = kNeverBuilt;  // version the index was built at
     mutable std::vector<std::pair<SubjectId, std::size_t>> driver_index_;  // lazy, sorted
     void build_index() const;
 };

@@ -145,7 +145,7 @@ std::vector<NodeId> Network::transitive_fanin(NodeId root) const {
 std::vector<NodeId> Network::logic_nodes() const {
     std::vector<NodeId> out;
     for (NodeId i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].kind == NodeKind::Logic) out.push_back(i);
+        if (nodes_[i].kind == NodeKind::Logic && !nodes_[i].dead) out.push_back(i);
     }
     return out;
 }
@@ -153,13 +153,13 @@ std::vector<NodeId> Network::logic_nodes() const {
 std::size_t Network::logic_node_count() const {
     return static_cast<std::size_t>(
         std::count_if(nodes_.begin(), nodes_.end(),
-                      [](const Node& n) { return n.kind == NodeKind::Logic; }));
+                      [](const Node& n) { return n.kind == NodeKind::Logic && !n.dead; }));
 }
 
 std::size_t Network::literal_count() const {
     std::size_t n = 0;
     for (const Node& node : nodes_) {
-        if (node.kind == NodeKind::Logic) n += node.function.literal_count();
+        if (node.kind == NodeKind::Logic && !node.dead) n += node.function.literal_count();
     }
     return n;
 }
@@ -175,7 +175,7 @@ std::size_t Network::depth() const {
     std::size_t deepest = 0;
     for (NodeId i = 0; i < nodes_.size(); ++i) {
         const Node& n = nodes_[i];
-        if (n.kind != NodeKind::Logic) continue;
+        if (n.kind != NodeKind::Logic || n.dead) continue;
         std::size_t lv = 0;
         for (NodeId f : n.fanins) lv = std::max(lv, level[f]);
         level[i] = lv + 1;
@@ -237,7 +237,16 @@ std::size_t Network::sweep() {
 void Network::check() const {
     for (NodeId i = 0; i < nodes_.size(); ++i) {
         const Node& n = nodes_[i];
+        if (n.dead) {
+            if (!n.fanins.empty() || !n.fanouts.empty() || n.is_po_driver) {
+                throw std::logic_error("Network::check: dead node still connected: " + n.name);
+            }
+            continue;
+        }
         for (NodeId f : n.fanins) {
+            if (nodes_[f].dead) {
+                throw std::logic_error("Network::check: fanin of " + n.name + " is dead");
+            }
             if (f >= i) throw std::logic_error("Network::check: fanin not earlier in order");
             const auto& fo = nodes_[f].fanouts;
             if (std::count(fo.begin(), fo.end(), i) !=
@@ -254,7 +263,21 @@ void Network::check() const {
     }
     for (const PrimaryOutput& po : outputs_) {
         if (po.driver >= nodes_.size()) throw std::logic_error("Network::check: dangling PO");
+        if (nodes_[po.driver].dead) {
+            throw std::logic_error("Network::check: PO " + po.name + " driven by dead node");
+        }
     }
+}
+
+std::vector<NodeId> Network::touched_since(Version since) const {
+    std::vector<NodeId> out;
+    for (const JournalEntry& e : journal_) {
+        if (e.version <= since) continue;
+        out.insert(out.end(), e.touched.begin(), e.touched.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 }  // namespace lily

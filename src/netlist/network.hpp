@@ -14,8 +14,12 @@
 #include <vector>
 
 #include "netlist/sop.hpp"
+#include "util/status.hpp"
+#include "util/version.hpp"
 
 namespace lily {
+
+struct NetDelta;
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNullNode = std::numeric_limits<NodeId>::max();
@@ -32,11 +36,21 @@ struct Node {
     Sop function;  // over `fanins`; unused for primary inputs
     std::vector<NodeId> fanouts;
     bool is_po_driver = false;
+    /// Removed by an ECO delta: the slot is retained so ids stay stable,
+    /// but decomposition, sweeps and checkers skip the node.
+    bool dead = false;
 };
 
 struct PrimaryOutput {
     std::string name;
     NodeId driver = kNullNode;
+};
+
+/// Outcome of applying a delta: the network's new version plus the directly
+/// edited nodes (callers expand to the fanout closure for dirty-cone work).
+struct AppliedDelta {
+    Version version = kNeverBuilt;
+    std::vector<NodeId> touched;
 };
 
 /// A combinational multi-level logic network.
@@ -75,6 +89,8 @@ public:
     std::span<const NodeId> inputs() const { return inputs_; }
     std::span<const PrimaryOutput> outputs() const { return outputs_; }
 
+    bool is_dead(NodeId id) const { return nodes_[id].dead; }
+
     std::optional<NodeId> find_node(std::string_view name) const;
 
     /// All node ids in creation order (creation order is topological because
@@ -103,6 +119,32 @@ public:
     /// violation; cheap enough to call in tests after every transformation.
     void check() const;
 
+    // ---- change journal (ECO pipeline) ---------------------------------
+    /// One journal record: the nodes directly edited under one version bump.
+    struct JournalEntry {
+        Version version = kNeverBuilt;
+        std::vector<NodeId> touched;
+    };
+
+    /// Current generation. Starts at 1; every successful apply_delta bumps
+    /// it, so a downstream artifact stamped with the version it was built
+    /// from can detect staleness by comparison.
+    Version version() const { return version_.value(); }
+
+    /// Apply an ordered list of ECO edits atomically: either every op
+    /// validates and the network advances one version, or the network is
+    /// left untouched and an error Status is returned. The touched node ids
+    /// are journaled under the new version.
+    StatusOr<AppliedDelta> apply_delta(const NetDelta& delta);
+
+    /// All journal entries, oldest first (full-rebuild sentinels journal an
+    /// empty touched list).
+    std::span<const JournalEntry> journal() const { return journal_; }
+
+    /// Union of nodes touched by every delta applied after `since`, sorted
+    /// and deduplicated.
+    std::vector<NodeId> touched_since(Version since) const;
+
 private:
     NodeId allocate(Node n);
     std::string fresh_name(const char* prefix);
@@ -113,6 +155,8 @@ private:
     std::vector<PrimaryOutput> outputs_;
     std::unordered_map<std::string, NodeId> by_name_;
     std::uint64_t next_auto_ = 0;
+    VersionCounter version_;
+    std::vector<JournalEntry> journal_;
 };
 
 }  // namespace lily

@@ -102,8 +102,66 @@ DetailedPlacement legalize_rows(const PlacementNetlist& nl, const GlobalPlacemen
 std::size_t improve_rows(const PlacementNetlist& nl, DetailedPlacement& dp,
                          std::size_t max_passes = 4);
 
+/// Result of an ECO-local placement re-solve.
+struct IncrementalPlacement {
+    std::size_t solved_cells = 0;   // distinct dirty cells moved through the QP
+    std::size_t cg_iterations = 0;  // both axes combined
+    bool converged = false;
+    bool budget_exhausted = false;
+};
+
+/// ECO-local quadratic re-solve: only the cells in `dirty` move; every other
+/// cell (and every pad) is frozen at its entry in `positions` and folded
+/// into the dirty subsystem as a fixed anchor with the same clique weight
+/// (2/k) the full placer uses, so the local optimum agrees with the global
+/// model on the boundary. Nets touching no dirty cell drop out entirely. On
+/// entry `positions` holds prior coordinates for clean cells and a seed
+/// guess for dirty ones; on exit the dirty entries are replaced with the
+/// re-solved, region-clamped coordinates — clean entries are never written.
+IncrementalPlacement place_incremental(const PlacementNetlist& nl, const Rect& region,
+                                       std::vector<Point>& positions,
+                                       std::span<const std::size_t> dirty,
+                                       const GlobalPlacementOptions& opts = {});
+
+/// Bookkeeping from an ECO-local legalization pass.
+struct IncrementalLegalization {
+    std::size_t repacked_rows = 0;
+    std::size_t moved_cells = 0;  // cells whose position actually changed
+};
+
+/// ECO-local legalization: keep every clean cell in its prior row at its
+/// prior position and fold only the `dirty` cells into the row structure.
+/// On entry `dp` carries the prior row geometry (region, row_height,
+/// n_rows), prior legalized positions and rows for clean cells, and the
+/// continuous re-solved positions for dirty cells (their row_of entries are
+/// ignored). Each dirty cell is assigned to the row nearest its solved y
+/// that still has horizontal space; then ONLY the rows that received a cell
+/// are re-packed (x-order preserved, centered like legalize_rows) and
+/// snapped to their centerline. Rows untouched by the edit keep their
+/// positions bit-identical — the property the incremental timing splice
+/// depends on. Rows that merely lost cells keep a gap instead of
+/// re-packing, for the same reason.
+IncrementalLegalization legalize_rows_incremental(const PlacementNetlist& nl,
+                                                  std::span<const std::size_t> dirty,
+                                                  DetailedPlacement& dp);
+
 /// Total half-perimeter wirelength of all nets under the given positions.
 double total_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions);
+
+/// Per-net HPWL cache for incremental wirelength bookkeeping: build once
+/// against a full placement, then re-measure only the nets incident to the
+/// cells an ECO moved. `total` accumulates the patches in net order; it can
+/// drift from a fresh total_hpwl by float rounding only (diagnostic use).
+struct HpwlCache {
+    std::vector<double> net_hpwl;                     // per net
+    std::vector<std::vector<std::size_t>> nets_of_cell;
+    double total = 0.0;
+};
+HpwlCache build_hpwl_cache(const PlacementNetlist& nl, std::span<const Point> cell_positions);
+/// Re-measure the nets incident to `moved_cells` under the new positions and
+/// patch the cache. Returns the number of nets re-measured.
+std::size_t update_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                        std::span<const std::size_t> moved_cells, HpwlCache& cache);
 
 /// Sum of squared Euclidean lengths over the clique net model — the
 /// objective place_global minimizes (for monotonicity tests).

@@ -302,6 +302,106 @@ GlobalPlacement place_global(const PlacementNetlist& nl, const Rect& region,
     return out;
 }
 
+IncrementalPlacement place_incremental(const PlacementNetlist& nl, const Rect& region,
+                                       std::vector<Point>& positions,
+                                       std::span<const std::size_t> dirty,
+                                       const GlobalPlacementOptions& opts) {
+    nl.check();
+    if (positions.size() != nl.n_cells) {
+        throw std::invalid_argument("place_incremental: positions/cells size mismatch");
+    }
+    IncrementalPlacement out;
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> local(nl.n_cells, npos);
+    std::vector<std::size_t> cells;  // dirty cells, deduplicated, input order
+    for (const std::size_t c : dirty) {
+        if (c >= nl.n_cells) {
+            throw std::invalid_argument("place_incremental: bad dirty cell index");
+        }
+        if (local[c] != npos) continue;
+        local[c] = cells.size();
+        cells.push_back(c);
+    }
+    out.solved_cells = cells.size();
+    if (cells.empty()) {
+        out.converged = true;
+        return out;
+    }
+    const std::size_t n = cells.size();
+
+    // Dirty subsystem: clique springs between dirty pins, frozen pins folded
+    // into the diagonal and the right-hand side (exactly how build_qp_system
+    // treats pads). Serial assembly — ECO edits keep n small.
+    SparseMatrix::Builder builder(n);
+    std::vector<double> bx(n, 0.0), by(n, 0.0);
+    for (const PlacementNetlist::Net& net : nl.nets) {
+        const std::size_t k = net.pin_count();
+        if (k < 2) continue;
+        bool touches = false;
+        for (const std::size_t c : net.cells) {
+            if (local[c] != npos) {
+                touches = true;
+                break;
+            }
+        }
+        if (!touches) continue;
+        const double w = 2.0 / static_cast<double>(k);
+        for (std::size_t i = 0; i < net.cells.size(); ++i) {
+            const std::size_t ci = net.cells[i];
+            const std::size_t li = local[ci];
+            for (std::size_t j = i + 1; j < net.cells.size(); ++j) {
+                const std::size_t cj = net.cells[j];
+                const std::size_t lj = local[cj];
+                if (li != npos && lj != npos) {
+                    builder.add_spring(li, lj, w);
+                } else if (li != npos) {
+                    builder.add_anchor(li, w);
+                    bx[li] += w * positions[cj].x;
+                    by[li] += w * positions[cj].y;
+                } else if (lj != npos) {
+                    builder.add_anchor(lj, w);
+                    bx[lj] += w * positions[ci].x;
+                    by[lj] += w * positions[ci].y;
+                }
+            }
+            if (li == npos) continue;
+            for (const std::size_t p : net.pads) {
+                builder.add_anchor(li, w);
+                bx[li] += w * nl.pad_positions[p].x;
+                by[li] += w * nl.pad_positions[p].y;
+            }
+        }
+    }
+    // Weak center pull keeps cells with no frozen neighbor well-posed — the
+    // same floor weight place_quadratic uses at level 0.
+    const double w0 = std::max(opts.anchor_weight * 1e-3, 1e-9);
+    const Point center = region.center();
+    for (std::size_t i = 0; i < n; ++i) {
+        builder.add_anchor(i, w0);
+        bx[i] += w0 * center.x;
+        by[i] += w0 * center.y;
+    }
+    const SparseMatrix a = std::move(builder).build();
+
+    std::vector<double> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = positions[cells[i]].x;
+        y[i] = positions[cells[i]].y;
+    }
+    const CgResult rx =
+        conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters, opts.budget);
+    const CgResult ry =
+        conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters, opts.budget);
+    out.cg_iterations = rx.iterations + ry.iterations;
+    out.converged = rx.converged && ry.converged;
+    out.budget_exhausted = rx.budget_exhausted || ry.budget_exhausted;
+    for (std::size_t i = 0; i < n; ++i) {
+        positions[cells[i]] = {std::clamp(x[i], region.ll.x, region.ur.x),
+                               std::clamp(y[i], region.ll.y, region.ur.y)};
+    }
+    return out;
+}
+
 double total_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions) {
     double sum = 0.0;
     for (const PlacementNetlist::Net& net : nl.nets) {
@@ -311,6 +411,43 @@ double total_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positi
         sum += bb.half_perimeter();
     }
     return sum;
+}
+
+HpwlCache build_hpwl_cache(const PlacementNetlist& nl, std::span<const Point> cell_positions) {
+    HpwlCache cache;
+    cache.net_hpwl.resize(nl.nets.size());
+    cache.nets_of_cell.resize(nl.n_cells);
+    for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
+        const PlacementNetlist::Net& net = nl.nets[ni];
+        Rect bb;
+        for (const std::size_t c : net.cells) {
+            bb.expand(cell_positions[c]);
+            cache.nets_of_cell[c].push_back(ni);
+        }
+        for (const std::size_t p : net.pads) bb.expand(nl.pad_positions[p]);
+        cache.net_hpwl[ni] = bb.half_perimeter();
+        cache.total += cache.net_hpwl[ni];
+    }
+    return cache;
+}
+
+std::size_t update_hpwl(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                        std::span<const std::size_t> moved_cells, HpwlCache& cache) {
+    std::vector<std::size_t> touched;
+    for (const std::size_t c : moved_cells) {
+        for (const std::size_t ni : cache.nets_of_cell[c]) touched.push_back(ni);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (const std::size_t ni : touched) {
+        const PlacementNetlist::Net& net = nl.nets[ni];
+        Rect bb;
+        for (const std::size_t c : net.cells) bb.expand(cell_positions[c]);
+        for (const std::size_t p : net.pads) bb.expand(nl.pad_positions[p]);
+        cache.total += bb.half_perimeter() - cache.net_hpwl[ni];
+        cache.net_hpwl[ni] = bb.half_perimeter();
+    }
+    return touched.size();
 }
 
 double quadratic_objective(const PlacementNetlist& nl, std::span<const Point> cell_positions) {

@@ -91,6 +91,84 @@ DetailedPlacement legalize_rows(const PlacementNetlist& nl, const GlobalPlacemen
 
 namespace lily {
 
+IncrementalLegalization legalize_rows_incremental(const PlacementNetlist& nl,
+                                                  std::span<const std::size_t> dirty,
+                                                  DetailedPlacement& dp) {
+    IncrementalLegalization out;
+    if (nl.n_cells == 0 || dp.n_rows == 0 || dirty.empty()) return out;
+    const double region_w = std::max(dp.region.width(), 1e-9);
+    const double pitch = dp.region.height() / static_cast<double>(dp.n_rows);
+
+    std::vector<double> width(nl.n_cells);
+    for (std::size_t c = 0; c < nl.n_cells; ++c) {
+        width[c] = std::max(nl.cell_area[c] / dp.row_height, 1e-6);
+    }
+    std::vector<char> is_dirty(nl.n_cells, 0);
+    for (const std::size_t c : dirty) is_dirty[c] = 1;
+
+    // Occupied width per row, counting clean cells only.
+    std::vector<double> row_width(dp.n_rows, 0.0);
+    for (std::size_t c = 0; c < nl.n_cells; ++c) {
+        if (!is_dirty[c]) row_width[static_cast<std::size_t>(dp.row_of[c])] += width[c];
+    }
+
+    // Assign each dirty cell to the nearest row with horizontal space
+    // (falling back to the nearest row outright when every row is full —
+    // a packed row may exceed capacity by a cell, like the batch path).
+    std::vector<char> touched(dp.n_rows, 0);
+    for (const std::size_t c : dirty) {
+        const double yf = (dp.positions[c].y - dp.region.ll.y) / std::max(pitch, 1e-12) - 0.5;
+        const long max_row = static_cast<long>(dp.n_rows) - 1;
+        const long base = std::clamp<long>(std::lround(yf), 0, max_row);
+        std::size_t chosen = static_cast<std::size_t>(base);
+        for (long off = 0; off <= max_row; ++off) {
+            bool found = false;
+            for (const long cand : {base - off, base + off}) {
+                if (cand < 0 || cand > max_row) continue;
+                if (row_width[static_cast<std::size_t>(cand)] + width[c] <= region_w) {
+                    chosen = static_cast<std::size_t>(cand);
+                    found = true;
+                    break;
+                }
+            }
+            if (found) break;
+        }
+        dp.row_of[c] = static_cast<int>(chosen);
+        row_width[chosen] += width[c];
+        touched[chosen] = 1;
+    }
+
+    // Re-pack only the rows that received a cell; everything else keeps its
+    // positions bit for bit.
+    for (std::size_t r = 0; r < dp.n_rows; ++r) {
+        if (!touched[r]) continue;
+        std::vector<std::size_t> cells;
+        for (std::size_t c = 0; c < nl.n_cells; ++c) {
+            if (dp.row_of[c] == static_cast<int>(r)) cells.push_back(c);
+        }
+        std::sort(cells.begin(), cells.end(), [&](std::size_t a, std::size_t b) {
+            if (dp.positions[a].x != dp.positions[b].x) {
+                return dp.positions[a].x < dp.positions[b].x;
+            }
+            return a < b;  // deterministic tie-break
+        });
+        double rw = 0.0;
+        for (const std::size_t c : cells) rw += width[c];
+        double x = dp.region.center().x - rw / 2.0;
+        x = std::max(x, dp.region.ll.x);
+        if (rw <= region_w) x = std::min(x, dp.region.ur.x - rw);
+        const double y = dp.region.ll.y + (static_cast<double>(r) + 0.5) * pitch;
+        for (const std::size_t c : cells) {
+            const Point next{x + width[c] / 2.0, y};
+            if (next.x != dp.positions[c].x || next.y != dp.positions[c].y) ++out.moved_cells;
+            dp.positions[c] = next;
+            x += width[c];
+        }
+        ++out.repacked_rows;
+    }
+    return out;
+}
+
 std::size_t improve_rows(const PlacementNetlist& nl, DetailedPlacement& dp,
                          std::size_t max_passes) {
     // Incident nets per cell.

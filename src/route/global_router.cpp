@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 
 #include "route/wire_models.hpp"
 
@@ -29,40 +30,21 @@ struct GridMap {
     double cell_h() const { return region.height() / static_cast<double>(n); }
 };
 
-/// Edge-usage accessor: horizontal edge (x,y)->(x+1,y) at h[x + y*(n-1)],
-/// vertical edge (x,y)->(x,y+1) at v[x + y*n].
-struct Usage {
-    std::size_t n;
-    std::vector<double>& h;
-    std::vector<double>& v;
-    double& horiz(std::size_t x, std::size_t y) { return h[x + y * (n - 1)]; }
-    double& vert(std::size_t x, std::size_t y) { return v[x + y * n]; }
+struct TwoPin {
+    std::size_t x0, y0, x1, y1;
 };
 
-}  // namespace
-
-RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell_positions,
-                         const Rect& region, const RouterOptions& opts) {
-    RouteResult res;
-    res.grid = opts.grid;
-    const std::size_t n = std::max<std::size_t>(opts.grid, 2);
-    res.h_usage.assign((n - 1) * n, 0.0);
-    res.v_usage.assign(n * (n - 1), 0.0);
-    const GridMap grid{region, n};
-    Usage usage{n, res.h_usage, res.v_usage};
-
-    // Estimate capacity from total demand if not given: perfectly even
-    // traffic would load every edge equally; allow 60% headroom.
-    double capacity = opts.capacity_per_edge;
-
+/// Collect the two-pin connections of every net (edges of its rectilinear
+/// MST, in Prim discovery order). Deterministic in the netlist order and the
+/// pin coordinates — a net whose pins did not move reproduces the identical
+/// connection sequence, which is what route_incremental's geometry diff
+/// relies on.
+std::vector<TwoPin> build_connections(const PlacementNetlist& nl,
+                                      std::span<const Point> cell_positions,
+                                      const GridMap& grid) {
     const auto pin_point = [&](const PlacementNetlist::Net& net, std::size_t k) {
         return k < net.cells.size() ? cell_positions[net.cells[k]]
                                     : nl.pad_positions[net.pads[k - net.cells.size()]];
-    };
-
-    // Pass 1: collect the two-pin connections of every net (MST edges).
-    struct TwoPin {
-        std::size_t x0, y0, x1, y1;
     };
     std::vector<TwoPin> connections;
     for (const PlacementNetlist::Net& net : nl.nets) {
@@ -70,7 +52,6 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         if (k < 2) continue;
         std::vector<Point> pins(k);
         for (std::size_t i = 0; i < k; ++i) pins[i] = pin_point(net, i);
-        // Prim MST, recording edges.
         std::vector<double> best(k, std::numeric_limits<double>::max());
         std::vector<std::size_t> parent(k, 0);
         std::vector<bool> used(k, false);
@@ -95,44 +76,39 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
             }
         }
     }
+    return connections;
+}
 
-    if (capacity <= 0.0) {
-        double demand = 0.0;
-        for (const TwoPin& c : connections) {
-            demand += static_cast<double>((c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0) +
-                                          (c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0));
-        }
-        const double n_edges = static_cast<double>(res.h_usage.size() + res.v_usage.size());
-        capacity = std::max(1.0, demand / n_edges * 1.6);
+/// The shared routing core: congestion map plus the per-connection route
+/// operations (L-shape choice/commit, maze detour) both entry points use.
+struct Router {
+    std::size_t n;
+    double capacity;
+    double congestion_penalty;
+    std::vector<double>& h;  // horizontal edge (x,y)->(x+1,y) at h[x + y*(n-1)]
+    std::vector<double>& v;  // vertical edge (x,y)->(x,y+1) at v[x + y*n]
+
+    double& horiz(std::size_t x, std::size_t y) { return h[x + y * (n - 1)]; }
+    double& vert(std::size_t x, std::size_t y) { return v[x + y * n]; }
+    double edge_cost(double u) const {
+        return u < capacity ? 1.0 : 1.0 + congestion_penalty * (u - capacity + 1.0);
     }
 
-    // Cost of adding one wire to an edge with current usage u.
-    const auto edge_cost = [&](double u) {
-        return u < capacity ? 1.0 : 1.0 + opts.congestion_penalty * (u - capacity + 1.0);
-    };
-
-    // Pass 2: route each connection with the cheaper L-shape; subsequent
-    // rip-up passes re-decide against the full congestion picture.
-    const auto walk_horiz = [&](std::size_t y, std::size_t xa, std::size_t xb, double delta,
-                                double* cost) {
+    void walk_horiz(std::size_t y, std::size_t xa, std::size_t xb, double delta, double* cost) {
         if (xa > xb) std::swap(xa, xb);
         for (std::size_t x = xa; x < xb; ++x) {
-            if (cost != nullptr) *cost += edge_cost(usage.horiz(x, y));
-            usage.horiz(x, y) += delta;
+            if (cost != nullptr) *cost += edge_cost(horiz(x, y));
+            horiz(x, y) += delta;
         }
-    };
-    const auto walk_vert = [&](std::size_t x, std::size_t ya, std::size_t yb, double delta,
-                               double* cost) {
+    }
+    void walk_vert(std::size_t x, std::size_t ya, std::size_t yb, double delta, double* cost) {
         if (ya > yb) std::swap(ya, yb);
         for (std::size_t y = ya; y < yb; ++y) {
-            if (cost != nullptr) *cost += edge_cost(usage.vert(x, y));
-            usage.vert(x, y) += delta;
+            if (cost != nullptr) *cost += edge_cost(vert(x, y));
+            vert(x, y) += delta;
         }
-    };
-    // Chosen shape per connection: true = horizontal-first.
-    std::vector<char> horiz_first(connections.size(), 1);
-
-    const auto commit = [&](const TwoPin& c, bool hf, double delta) {
+    }
+    void commit(const TwoPin& c, bool hf, double delta) {
         if (hf) {
             walk_horiz(c.y0, c.x0, c.x1, delta, nullptr);
             walk_vert(c.x1, c.y0, c.y1, delta, nullptr);
@@ -140,8 +116,8 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
             walk_vert(c.x0, c.y0, c.y1, delta, nullptr);
             walk_horiz(c.y1, c.x0, c.x1, delta, nullptr);
         }
-    };
-    const auto choose = [&](const TwoPin& c) {
+    }
+    bool choose(const TwoPin& c) {
         double cost_a = 0.0;
         walk_horiz(c.y0, c.x0, c.x1, 0.0, &cost_a);
         walk_vert(c.x1, c.y0, c.y1, 0.0, &cost_a);
@@ -149,45 +125,16 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         walk_vert(c.x0, c.y0, c.y1, 0.0, &cost_b);
         walk_horiz(c.y1, c.x0, c.x1, 0.0, &cost_b);
         return cost_a <= cost_b;
-    };
-
-    for (std::size_t i = 0; i < connections.size(); ++i) {
-        horiz_first[i] = choose(connections[i]) ? 1 : 0;
-        commit(connections[i], horiz_first[i] != 0, +1.0);
     }
-    const auto over_budget = [&] {
-        if (opts.budget != nullptr && opts.budget->exhausted()) {
-            res.budget_exhausted = true;
-            return true;
-        }
-        return false;
-    };
-
-    for (std::size_t pass = 0; pass < opts.reroute_passes && !over_budget(); ++pass) {
-        bool changed = false;
-        for (std::size_t i = 0; i < connections.size(); ++i) {
-            commit(connections[i], horiz_first[i] != 0, -1.0);  // rip up
-            const char best = choose(connections[i]) ? 1 : 0;
-            if (best != horiz_first[i]) changed = true;
-            horiz_first[i] = best;
-            commit(connections[i], horiz_first[i] != 0, +1.0);
-        }
-        if (!changed) break;
-    }
-    // Maze fallback: connections still touching overflowed edges are ripped
-    // up and re-routed with Dijkstra over the congestion costs, allowing
-    // detours around hot spots.
-    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> maze_path(
-        connections.size());
-    const auto l_touches_overflow = [&](const TwoPin& c, bool hf) {
+    bool l_touches_overflow(const TwoPin& c, bool hf) {
         bool hot = false;
         const auto probe_h = [&](std::size_t y, std::size_t xa, std::size_t xb) {
             if (xa > xb) std::swap(xa, xb);
-            for (std::size_t x = xa; x < xb; ++x) hot = hot || usage.horiz(x, y) > capacity;
+            for (std::size_t x = xa; x < xb; ++x) hot = hot || horiz(x, y) > capacity;
         };
         const auto probe_v = [&](std::size_t x, std::size_t ya, std::size_t yb) {
             if (ya > yb) std::swap(ya, yb);
-            for (std::size_t y = ya; y < yb; ++y) hot = hot || usage.vert(x, y) > capacity;
+            for (std::size_t y = ya; y < yb; ++y) hot = hot || vert(x, y) > capacity;
         };
         if (hf) {
             probe_h(c.y0, c.x0, c.x1);
@@ -197,21 +144,21 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
             probe_h(c.y1, c.x0, c.x1);
         }
         return hot;
-    };
-    const auto commit_path = [&](const std::vector<std::pair<std::size_t, std::size_t>>& path,
-                                 double delta) {
+    }
+    void commit_path(const std::vector<std::pair<std::size_t, std::size_t>>& path,
+                     double delta) {
         for (std::size_t s = 0; s + 1 < path.size(); ++s) {
             const auto [x0, y0] = path[s];
             const auto [x1, y1] = path[s + 1];
             if (y0 == y1) {
-                usage.horiz(std::min(x0, x1), y0) += delta;
+                horiz(std::min(x0, x1), y0) += delta;
             } else {
-                usage.vert(x0, std::min(y0, y1)) += delta;
+                vert(x0, std::min(y0, y1)) += delta;
             }
         }
-    };
-    const auto maze_route = [&](const TwoPin& c) {
-        // Dijkstra over grid nodes with congestion-aware edge costs.
+    }
+    /// Dijkstra over grid nodes with congestion-aware edge costs.
+    std::vector<std::pair<std::size_t, std::size_t>> maze_route(const TwoPin& c) {
         const std::size_t nn = n * n;
         std::vector<double> dist(nn, std::numeric_limits<double>::max());
         std::vector<std::uint32_t> prev(nn, static_cast<std::uint32_t>(nn));
@@ -239,10 +186,10 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
                     queue.push({dist[u], u});
                 }
             };
-            if (x + 1 < n) relax(x + 1, y, edge_cost(usage.horiz(x, y)));
-            if (x > 0) relax(x - 1, y, edge_cost(usage.horiz(x - 1, y)));
-            if (y + 1 < n) relax(x, y + 1, edge_cost(usage.vert(x, y)));
-            if (y > 0) relax(x, y - 1, edge_cost(usage.vert(x, y - 1)));
+            if (x + 1 < n) relax(x + 1, y, edge_cost(horiz(x, y)));
+            if (x > 0) relax(x - 1, y, edge_cost(horiz(x - 1, y)));
+            if (y + 1 < n) relax(x, y + 1, edge_cost(vert(x, y)));
+            if (y > 0) relax(x, y - 1, edge_cost(vert(x, y - 1)));
         }
         std::vector<std::pair<std::size_t, std::size_t>> path;
         for (std::uint32_t v = dst; v != static_cast<std::uint32_t>(nn); v = prev[v]) {
@@ -251,44 +198,37 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         }
         std::reverse(path.begin(), path.end());
         return path;
-    };
-
-    for (std::size_t pass = 0; pass < opts.maze_passes && !over_budget(); ++pass) {
-        bool changed = false;
-        for (std::size_t i = 0; i < connections.size(); ++i) {
-            if (over_budget()) break;  // keep remaining connections on their L
-            if (!maze_path[i].empty()) continue;  // already detoured
-            if (!l_touches_overflow(connections[i], horiz_first[i] != 0)) continue;
-            commit(connections[i], horiz_first[i] != 0, -1.0);
-            auto path = maze_route(connections[i]);
-            if (path.size() >= 2) {
-                commit_path(path, +1.0);
-                maze_path[i] = std::move(path);
-                ++res.mazed_connections;
-                changed = true;
-            } else {
-                commit(connections[i], horiz_first[i] != 0, +1.0);  // degenerate: keep L
-            }
-        }
-        if (!changed) break;
     }
+};
 
-    for (std::size_t i = 0; i < connections.size(); ++i) {
-        if (!maze_path[i].empty()) {
-            // Detour length: one grid edge per path step.
-            for (std::size_t s = 0; s + 1 < maze_path[i].size(); ++s) {
-                res.total_wirelength += maze_path[i][s].second == maze_path[i][s + 1].second
+TwoPin to_twopin(const RouteResult::Connection& c) {
+    return {c.x0, c.y0, c.x1, c.y1};
+}
+
+/// Wirelength of the final plan plus the congestion summary of the final
+/// usage map — shared epilogue of both entry points.
+void finalize(RouteResult& res, const GridMap& grid, double capacity) {
+    res.capacity = capacity;
+    res.total_wirelength = 0.0;
+    res.mazed_connections = 0;
+    for (const RouteResult::Connection& c : res.plan) {
+        if (!c.maze_path.empty()) {
+            ++res.mazed_connections;
+            for (std::size_t s = 0; s + 1 < c.maze_path.size(); ++s) {
+                res.total_wirelength += c.maze_path[s].second == c.maze_path[s + 1].second
                                             ? grid.cell_w()
                                             : grid.cell_h();
             }
             continue;
         }
-        const TwoPin& c = connections[i];
-        const double dx = static_cast<double>(c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0);
-        const double dy = static_cast<double>(c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0);
+        const double dx =
+            static_cast<double>(c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0);
+        const double dy =
+            static_cast<double>(c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0);
         res.total_wirelength += dx * grid.cell_w() + dy * grid.cell_h();
     }
-
+    res.max_congestion = 0.0;
+    res.total_overflow = 0.0;
     for (const double u : res.h_usage) {
         res.max_congestion = std::max(res.max_congestion, u / capacity);
         res.total_overflow += std::max(0.0, u - capacity);
@@ -297,6 +237,186 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         res.max_congestion = std::max(res.max_congestion, u / capacity);
         res.total_overflow += std::max(0.0, u - capacity);
     }
+}
+
+std::uint64_t endpoint_key(std::size_t x0, std::size_t y0, std::size_t x1, std::size_t y1) {
+    return (static_cast<std::uint64_t>(x0) << 48) | (static_cast<std::uint64_t>(y0) << 32) |
+           (static_cast<std::uint64_t>(x1) << 16) | static_cast<std::uint64_t>(y1);
+}
+
+}  // namespace
+
+RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                         const Rect& region, const RouterOptions& opts) {
+    RouteResult res;
+    res.grid = opts.grid;
+    const std::size_t n = std::max<std::size_t>(opts.grid, 2);
+    res.h_usage.assign((n - 1) * n, 0.0);
+    res.v_usage.assign(n * (n - 1), 0.0);
+    const GridMap grid{region, n};
+
+    const std::vector<TwoPin> connections = build_connections(nl, cell_positions, grid);
+
+    // Estimate capacity from total demand if not given: perfectly even
+    // traffic would load every edge equally; allow 60% headroom.
+    double capacity = opts.capacity_per_edge;
+    if (capacity <= 0.0) {
+        double demand = 0.0;
+        for (const TwoPin& c : connections) {
+            demand += static_cast<double>((c.x0 > c.x1 ? c.x0 - c.x1 : c.x1 - c.x0) +
+                                          (c.y0 > c.y1 ? c.y0 - c.y1 : c.y1 - c.y0));
+        }
+        const double n_edges = static_cast<double>(res.h_usage.size() + res.v_usage.size());
+        capacity = std::max(1.0, demand / n_edges * 1.6);
+    }
+
+    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage};
+
+    // Pass 2: route each connection with the cheaper L-shape; subsequent
+    // rip-up passes re-decide against the full congestion picture.
+    std::vector<char> horiz_first(connections.size(), 1);
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+        horiz_first[i] = router.choose(connections[i]) ? 1 : 0;
+        router.commit(connections[i], horiz_first[i] != 0, +1.0);
+    }
+    const auto over_budget = [&] {
+        if (opts.budget != nullptr && opts.budget->exhausted()) {
+            res.budget_exhausted = true;
+            return true;
+        }
+        return false;
+    };
+
+    for (std::size_t pass = 0; pass < opts.reroute_passes && !over_budget(); ++pass) {
+        bool changed = false;
+        for (std::size_t i = 0; i < connections.size(); ++i) {
+            router.commit(connections[i], horiz_first[i] != 0, -1.0);  // rip up
+            const char best = router.choose(connections[i]) ? 1 : 0;
+            if (best != horiz_first[i]) changed = true;
+            horiz_first[i] = best;
+            router.commit(connections[i], horiz_first[i] != 0, +1.0);
+        }
+        if (!changed) break;
+    }
+
+    // Maze fallback: connections still touching overflowed edges are ripped
+    // up and re-routed with Dijkstra over the congestion costs, allowing
+    // detours around hot spots.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> maze_path(
+        connections.size());
+    for (std::size_t pass = 0; pass < opts.maze_passes && !over_budget(); ++pass) {
+        bool changed = false;
+        for (std::size_t i = 0; i < connections.size(); ++i) {
+            if (over_budget()) break;  // keep remaining connections on their L
+            if (!maze_path[i].empty()) continue;  // already detoured
+            if (!router.l_touches_overflow(connections[i], horiz_first[i] != 0)) continue;
+            router.commit(connections[i], horiz_first[i] != 0, -1.0);
+            auto path = router.maze_route(connections[i]);
+            if (path.size() >= 2) {
+                router.commit_path(path, +1.0);
+                maze_path[i] = std::move(path);
+                changed = true;
+            } else {
+                router.commit(connections[i], horiz_first[i] != 0, +1.0);  // degenerate: keep L
+            }
+        }
+        if (!changed) break;
+    }
+
+    res.plan.resize(connections.size());
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+        RouteResult::Connection& c = res.plan[i];
+        c.x0 = static_cast<std::uint32_t>(connections[i].x0);
+        c.y0 = static_cast<std::uint32_t>(connections[i].y0);
+        c.x1 = static_cast<std::uint32_t>(connections[i].x1);
+        c.y1 = static_cast<std::uint32_t>(connections[i].y1);
+        c.horiz_first = horiz_first[i] != 0;
+        c.maze_path = std::move(maze_path[i]);
+    }
+    finalize(res, grid, capacity);
+    return res;
+}
+
+RouteResult route_incremental(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                              const Rect& region, const RouteResult& prior,
+                              const RouterOptions& opts) {
+    const std::size_t n = std::max<std::size_t>(opts.grid, 2);
+    if (prior.plan.empty() || prior.grid != opts.grid || prior.capacity <= 0.0 ||
+        prior.h_usage.size() != (n - 1) * n || prior.v_usage.size() != n * (n - 1)) {
+        return route_global(nl, cell_positions, region, opts);
+    }
+
+    RouteResult res;
+    res.grid = prior.grid;
+    res.h_usage = prior.h_usage;
+    res.v_usage = prior.v_usage;
+    const GridMap grid{region, n};
+    const double capacity = prior.capacity;  // keep costs comparable across deltas
+    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage};
+
+    const std::vector<TwoPin> connections = build_connections(nl, cell_positions, grid);
+
+    // Match new connections against the prior plan by endpoint geometry.
+    // A matched connection keeps its prior route and its (already counted)
+    // usage; prior routes left unmatched are ripped up; unmatched new
+    // connections are routed against the patched congestion map.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> pool;
+    pool.reserve(prior.plan.size());
+    for (std::size_t i = 0; i < prior.plan.size(); ++i) {
+        const RouteResult::Connection& c = prior.plan[i];
+        pool[endpoint_key(c.x0, c.y0, c.x1, c.y1)].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    res.plan.resize(connections.size());
+    std::vector<std::size_t> fresh;  // indices into res.plan still to route
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+        const TwoPin& c = connections[i];
+        const auto it = pool.find(endpoint_key(c.x0, c.y0, c.x1, c.y1));
+        if (it != pool.end() && !it->second.empty()) {
+            res.plan[i] = prior.plan[it->second.back()];
+            it->second.pop_back();
+            ++res.kept_connections;
+        } else {
+            res.plan[i].x0 = static_cast<std::uint32_t>(c.x0);
+            res.plan[i].y0 = static_cast<std::uint32_t>(c.y0);
+            res.plan[i].x1 = static_cast<std::uint32_t>(c.x1);
+            res.plan[i].y1 = static_cast<std::uint32_t>(c.y1);
+            fresh.push_back(i);
+        }
+    }
+    for (const auto& [key, slots] : pool) {
+        for (const std::uint32_t i : slots) {  // vanished: subtract its usage
+            const RouteResult::Connection& c = prior.plan[i];
+            if (!c.maze_path.empty()) {
+                router.commit_path(c.maze_path, -1.0);
+            } else {
+                router.commit(to_twopin(c), c.horiz_first, -1.0);
+            }
+        }
+    }
+
+    for (const std::size_t i : fresh) {
+        RouteResult::Connection& c = res.plan[i];
+        c.horiz_first = router.choose(to_twopin(c));
+        router.commit(to_twopin(c), c.horiz_first, +1.0);
+    }
+    // One maze pass over the fresh connections only: the kept routes were
+    // already refined by the batch run they came from.
+    for (const std::size_t i : fresh) {
+        RouteResult::Connection& c = res.plan[i];
+        if (!router.l_touches_overflow(to_twopin(c), c.horiz_first)) continue;
+        router.commit(to_twopin(c), c.horiz_first, -1.0);
+        auto path = router.maze_route(to_twopin(c));
+        if (path.size() >= 2) {
+            router.commit_path(path, +1.0);
+            c.maze_path = std::move(path);
+        } else {
+            router.commit(to_twopin(c), c.horiz_first, +1.0);
+        }
+    }
+    res.rerouted_connections = fresh.size();
+
+    finalize(res, grid, capacity);
     return res;
 }
 

@@ -7,7 +7,9 @@
 // paper's comparisons.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "place/placement.hpp"
@@ -47,9 +49,42 @@ struct RouteResult {
     /// usage[d][x][y] flattened; d = 0 horizontal edges, 1 vertical edges.
     std::vector<double> h_usage;
     std::vector<double> v_usage;
+
+    /// Replayable routing plan, one record per two-pin connection: the grid
+    /// endpoints plus the decision taken (L-shape orientation, or a maze
+    /// detour path). route_incremental diffs a new netlist's connections
+    /// against this plan by endpoint geometry — a net whose pins did not
+    /// move reproduces the identical connections and keeps its routing (and
+    /// its usage contribution) untouched.
+    struct Connection {
+        std::uint32_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+        bool horiz_first = true;
+        std::vector<std::pair<std::size_t, std::size_t>> maze_path;  // empty = L-shape
+    };
+    std::vector<Connection> plan;
+    /// The capacity the plan was routed against (derived from demand when
+    /// RouterOptions::capacity_per_edge is 0); reused verbatim by
+    /// route_incremental so congestion costs stay comparable across deltas.
+    double capacity = 0.0;
+
+    /// Incremental-call accounting (route_global leaves these at defaults).
+    std::size_t kept_connections = 0;
+    std::size_t rerouted_connections = 0;
 };
 
 RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell_positions,
                          const Rect& region, const RouterOptions& opts = {});
+
+/// Patch a prior routing after an ECO: connections whose endpoints are
+/// unchanged keep their prior routes (no work, no usage churn); routes of
+/// vanished connections are subtracted from the congestion map; new
+/// connections are routed against the patched map (cheaper L-shape, then a
+/// maze detour if the L crosses an overflowed edge). Falls back to a full
+/// route_global when the prior result has no plan or was routed on a
+/// different grid. The result is a complete, self-consistent RouteResult —
+/// usable as the prior of the next delta.
+RouteResult route_incremental(const PlacementNetlist& nl, std::span<const Point> cell_positions,
+                              const Rect& region, const RouteResult& prior,
+                              const RouterOptions& opts = {});
 
 }  // namespace lily

@@ -93,54 +93,66 @@ private:
     TreeShape shape_;
 };
 
+/// Decompose one logic node's SOP over the current signal_of table and
+/// record its root signal. Shared by the batch and incremental paths so
+/// both derive byte-for-byte the same structure for the same inputs.
+void decompose_logic_node(const Network& net, NodeId id, SubjectGraph& g,
+                          TreeBuilder& builder, std::vector<SubjectId>& signal_of,
+                          const DecomposeOptions& opts) {
+    const Node& n = net.node(id);
+    if (n.function.is_constant()) {
+        throw std::invalid_argument("decompose: node '" + n.name +
+                                    "' is constant; propagate constants first");
+    }
+    const auto pos_of = [&](NodeId v) -> Point {
+        if (v < opts.source_positions.size()) return opts.source_positions[v];
+        return {static_cast<double>(v), 0.0};  // deterministic fallback
+    };
+
+    // Each cube: AND of literals. Literal = fanin signal or its INV.
+    std::vector<Operand> cube_ops;
+    cube_ops.reserve(n.function.cubes.size());
+    for (const Cube& c : n.function.cubes) {
+        std::vector<Operand> lits;
+        std::uint64_t care = c.care;
+        while (care != 0) {
+            const unsigned i = static_cast<unsigned>(std::countr_zero(care));
+            care &= care - 1;
+            const NodeId fan = n.fanins[i];
+            SubjectId sig = signal_of[fan];
+            if (!((c.polarity >> i) & 1)) sig = g.add_inv(sig);
+            lits.push_back({sig, pos_of(fan)});
+        }
+        cube_ops.push_back(builder.build_and(std::move(lits)));
+    }
+    Operand root = builder.build_or(std::move(cube_ops));
+    if (n.function.complement) root = {g.add_inv(root.id), root.pos};
+    signal_of[id] = root.id;
+    if (g.node(root.id).origin == kNullNode) g.set_origin(root.id, id);
+}
+
+TreeShape effective_shape(const DecomposeOptions& opts) {
+    return (opts.shape == TreeShape::Proximity && opts.source_positions.empty())
+               ? TreeShape::Balanced
+               : opts.shape;
+}
+
 }  // namespace
 
 DecomposeResult decompose(const Network& net, const DecomposeOptions& opts) {
     DecomposeResult out{SubjectGraph(net.name(), opts.cancel_inverter_pairs),
                         std::vector<SubjectId>(net.node_count(), kNullSubject)};
     SubjectGraph& g = out.graph;
-    const TreeShape shape =
-        (opts.shape == TreeShape::Proximity && opts.source_positions.empty())
-            ? TreeShape::Balanced
-            : opts.shape;
-    TreeBuilder builder(g, shape);
-
-    const auto pos_of = [&](NodeId id) -> Point {
-        if (id < opts.source_positions.size()) return opts.source_positions[id];
-        return {static_cast<double>(id), 0.0};  // deterministic fallback
-    };
+    TreeBuilder builder(g, effective_shape(opts));
 
     for (NodeId id = 0; id < net.node_count(); ++id) {
         const Node& n = net.node(id);
+        if (n.dead) continue;
         if (n.kind == NodeKind::PrimaryInput) {
             out.signal_of[id] = g.add_input(n.name, id);
             continue;
         }
-        if (n.function.is_constant()) {
-            throw std::invalid_argument("decompose: node '" + n.name +
-                                        "' is constant; propagate constants first");
-        }
-
-        // Each cube: AND of literals. Literal = fanin signal or its INV.
-        std::vector<Operand> cube_ops;
-        cube_ops.reserve(n.function.cubes.size());
-        for (const Cube& c : n.function.cubes) {
-            std::vector<Operand> lits;
-            std::uint64_t care = c.care;
-            while (care != 0) {
-                const unsigned i = static_cast<unsigned>(std::countr_zero(care));
-                care &= care - 1;
-                const NodeId fan = n.fanins[i];
-                SubjectId sig = out.signal_of[fan];
-                if (!((c.polarity >> i) & 1)) sig = g.add_inv(sig);
-                lits.push_back({sig, pos_of(fan)});
-            }
-            cube_ops.push_back(builder.build_and(std::move(lits)));
-        }
-        Operand root = builder.build_or(std::move(cube_ops));
-        if (n.function.complement) root = {g.add_inv(root.id), root.pos};
-        out.signal_of[id] = root.id;
-        if (g.node(root.id).origin == kNullNode) g.set_origin(root.id, id);
+        decompose_logic_node(net, id, g, builder, out.signal_of, opts);
     }
 
     for (const PrimaryOutput& po : net.outputs()) {
@@ -148,6 +160,65 @@ DecomposeResult decompose(const Network& net, const DecomposeOptions& opts) {
     }
     g.check();
     return out;
+}
+
+IncrementalDecomposeStats decompose_incremental(const Network& net,
+                                                std::span<const NodeId> touched,
+                                                DecomposeResult& inout,
+                                                const DecomposeOptions& opts) {
+    SubjectGraph& g = inout.graph;
+    IncrementalDecomposeStats stats;
+    stats.nodes_before = g.size();
+
+    const std::size_t n = net.node_count();
+    const std::size_t known = inout.signal_of.size();
+    inout.signal_of.resize(n, kNullSubject);
+
+    std::vector<bool> dirty(n, false);
+    for (NodeId id : touched) {
+        if (id < n) dirty[id] = true;
+    }
+    for (NodeId id = static_cast<NodeId>(known); id < n; ++id) dirty[id] = true;
+
+    // One ascending pass: a node is re-derived when it was edited directly
+    // or any fanin's signal changed. Structural hashing means an unchanged
+    // re-derivation lands on the same subject node, so `changed` — and with
+    // it the propagation — dies out at the edit's logical boundary.
+    std::vector<bool> changed(n, false);
+    TreeBuilder builder(g, effective_shape(opts));
+    for (NodeId id = 0; id < n; ++id) {
+        const Node& node = net.node(id);
+        if (node.kind == NodeKind::PrimaryInput) continue;  // PIs never change
+        if (!dirty[id]) {
+            for (NodeId f : node.fanins) {
+                if (changed[f]) {
+                    dirty[id] = true;
+                    break;
+                }
+            }
+            if (!dirty[id]) continue;
+        }
+        const SubjectId old = inout.signal_of[id];
+        if (node.dead) {
+            inout.signal_of[id] = kNullSubject;
+            continue;  // fanout-free by apply_delta's contract: nothing downstream
+        }
+        ++stats.dirty_sources;
+        decompose_logic_node(net, id, g, builder, inout.signal_of, opts);
+        if (inout.signal_of[id] != old) {
+            changed[id] = true;
+            stats.changed_signals.push_back(id);
+        }
+    }
+
+    // Re-point primary outputs (PO count and names are delta-invariant).
+    for (std::size_t k = 0; k < net.outputs().size(); ++k) {
+        const SubjectId want = inout.signal_of[net.outputs()[k].driver];
+        if (g.outputs()[k].driver != want) g.retarget_output(k, want);
+    }
+    g.check();
+    stats.nodes_after = g.size();
+    return stats;
 }
 
 }  // namespace lily

@@ -10,6 +10,7 @@
 //    decomposition tree at topologically close points.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "subject/subject_graph.hpp"
@@ -42,6 +43,41 @@ struct DecomposeResult {
 
 /// Build the subject graph. Throws std::invalid_argument on constant nodes
 /// (run constant propagation first) or nodes with more than 64 fanins.
+/// Dead (ECO-removed) source nodes are skipped; their signal_of entry is
+/// kNullSubject.
 DecomposeResult decompose(const Network& net, const DecomposeOptions& opts = {});
+
+/// Bookkeeping from an incremental rebuild (the subject stage's reuse ratio
+/// in FlowDiagnostics comes from here).
+struct IncrementalDecomposeStats {
+    /// Source nodes whose decomposition was re-derived (touched nodes plus
+    /// the downstream closure of changed signals).
+    std::size_t dirty_sources = 0;
+    /// Subject node count before/after: `after - before` nodes were newly
+    /// created; everything below `before` was reused untouched.
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    /// Source nodes whose subject signal actually changed — the dirty
+    /// frontier the mapper's cone-scoped remap starts from.
+    std::vector<NodeId> changed_signals;
+};
+
+/// Re-decompose only the dirty cones of an edited network against the
+/// existing subject graph. The graph is append-only and structurally
+/// hashed, so re-deriving a node whose logic is unchanged folds back onto
+/// the existing subject nodes and stops dirty propagation early; genuinely
+/// new logic appends fresh nodes (old SubjectIds remain stable). Orphaned
+/// subject nodes from replaced cones are left in place (the subject checker
+/// treats dangling nodes as a warning, and the mappers' needed-walk never
+/// visits them).
+///
+/// `touched` is the directly edited source-node set (e.g. from
+/// Network::apply_delta); `inout` must be the result of a prior decompose /
+/// decompose_incremental of the same network lineage, built with the same
+/// options.
+IncrementalDecomposeStats decompose_incremental(const Network& net,
+                                                std::span<const NodeId> touched,
+                                                DecomposeResult& inout,
+                                                const DecomposeOptions& opts = {});
 
 }  // namespace lily

@@ -7,7 +7,6 @@ namespace lily {
 
 SubjectId SubjectGraph::allocate(SubjectNode n) {
     const SubjectId id = static_cast<SubjectId>(nodes_.size());
-    if (n.name.empty()) n.name = "s" + std::to_string(id);
     nodes_.push_back(std::move(n));
     po_driver_.push_back(false);
     return id;
@@ -16,9 +15,9 @@ SubjectId SubjectGraph::allocate(SubjectNode n) {
 SubjectId SubjectGraph::add_input(std::string input_name, NodeId origin) {
     SubjectNode n;
     n.kind = SubjectKind::Input;
-    n.name = std::move(input_name);
     n.origin = origin;
     const SubjectId id = allocate(std::move(n));
+    if (!input_name.empty()) set_name(id, std::move(input_name));
     inputs_.push_back(id);
     return id;
 }
@@ -66,7 +65,28 @@ void SubjectGraph::add_output(std::string po_name, SubjectId driver) {
     po_driver_[driver] = true;
 }
 
+void SubjectGraph::retarget_output(std::size_t index, SubjectId driver) {
+    if (index >= outputs_.size()) throw std::invalid_argument("SubjectGraph: bad PO index");
+    if (driver >= nodes_.size()) throw std::invalid_argument("SubjectGraph: bad PO driver");
+    const SubjectId old = outputs_[index].driver;
+    outputs_[index].driver = driver;
+    po_driver_[driver] = true;
+    bool still = false;
+    for (const SubjectOutput& po : outputs_) still |= (po.driver == old);
+    po_driver_[old] = still;
+}
+
 void SubjectGraph::set_origin(SubjectId s, NodeId origin) { nodes_[s].origin = origin; }
+
+void SubjectGraph::set_name(SubjectId s, std::string name) {
+    if (s >= nodes_.size()) throw std::invalid_argument("SubjectGraph: set_name on bad node");
+    names_[s] = std::move(name);
+}
+
+std::string SubjectGraph::name_of(SubjectId s) const {
+    if (const auto it = names_.find(s); it != names_.end()) return it->second;
+    return "s" + std::to_string(s);
+}
 
 std::size_t SubjectGraph::gate_count() const {
     return static_cast<std::size_t>(std::count_if(
@@ -95,13 +115,13 @@ Network SubjectGraph::to_network() const {
         const SubjectNode& n = nodes_[i];
         switch (n.kind) {
             case SubjectKind::Input:
-                map[i] = net.add_input(n.name);
+                map[i] = net.add_input(name_of(i));
                 break;
             case SubjectKind::Inv:
-                map[i] = net.add_node(n.name, {map[n.fanin0]}, Sop::inverter());
+                map[i] = net.add_node(name_of(i), {map[n.fanin0]}, Sop::inverter());
                 break;
             case SubjectKind::Nand2:
-                map[i] = net.add_node(n.name, {map[n.fanin0], map[n.fanin1]}, Sop::nand_n(2));
+                map[i] = net.add_node(name_of(i), {map[n.fanin0], map[n.fanin1]}, Sop::nand_n(2));
                 break;
         }
     }

@@ -27,7 +27,9 @@ struct SubjectNode {
     /// Source-network node this subject node realizes (its root signal), or
     /// kNullNode for internal decomposition nodes.
     NodeId origin = kNullNode;
-    std::string name;
+    // Names live in the graph's side-table (SubjectGraph::name_of): only
+    // interface nodes carry one, so the millions of internal decomposition
+    // nodes of a large subject graph do not each drag a std::string around.
 
     unsigned fanin_count() const {
         return kind == SubjectKind::Input ? 0 : (kind == SubjectKind::Inv ? 1 : 2);
@@ -61,8 +63,21 @@ public:
     SubjectId add_nand(SubjectId a, SubjectId b);
     void add_output(std::string po_name, SubjectId driver);
 
+    /// Point primary output `index` at a different driver (ECO retarget),
+    /// keeping the po-driver flags consistent.
+    void retarget_output(std::size_t index, SubjectId driver);
+
     /// Record that subject node `s` realizes source node `origin`.
     void set_origin(SubjectId s, NodeId origin);
+
+    /// Intern a name for `s` (interface nodes only — internal decomposition
+    /// nodes stay anonymous and print as "s<id>").
+    void set_name(SubjectId s, std::string name);
+    bool has_name(SubjectId s) const { return names_.contains(s); }
+    /// Interned name, or the canonical anonymous name "s<id>".
+    std::string name_of(SubjectId s) const;
+    /// The interned (explicitly named) nodes, unordered.
+    const std::unordered_map<SubjectId, std::string>& named_nodes() const { return names_; }
 
     std::size_t size() const { return nodes_.size(); }
     const SubjectNode& node(SubjectId id) const { return nodes_[id]; }
@@ -90,6 +105,7 @@ private:
     std::vector<SubjectId> inputs_;
     std::vector<SubjectOutput> outputs_;
     std::vector<bool> po_driver_;
+    std::unordered_map<SubjectId, std::string> names_;
     // Structural hash: key packs (kind, fanin0, fanin1).
     struct Key {
         SubjectKind kind;

@@ -1,0 +1,34 @@
+// Artifact versioning for the incremental (ECO) pipeline.
+//
+// Every stage artifact the pipeline owns — the source network, the subject
+// graph, the mapped netlist, placements, routes, timing — carries a
+// monotonically increasing Version. A consumer records the producer version
+// it was built from; the PipelineChecker cross-validates the chain so a
+// stale artifact (e.g. a mapped netlist built against an older subject
+// graph) is rejected instead of silently mixing generations. This unifies
+// the ad-hoc `topo_epoch`/`rect_epoch` counters the mapper's caches grew in
+// the parallelization work: one Version type, one bump discipline.
+#pragma once
+
+#include <cstdint>
+
+namespace lily {
+
+using Version = std::uint64_t;
+
+/// Versions start at 1 so 0 can mean "never built".
+inline constexpr Version kNeverBuilt = 0;
+
+/// A monotonically increasing counter with value semantics: copying an
+/// artifact copies its version (the copy IS that generation); bumping
+/// advances to a new generation.
+class VersionCounter {
+public:
+    Version value() const { return v_; }
+    Version bump() { return ++v_; }
+
+private:
+    Version v_ = 1;
+};
+
+}  // namespace lily
