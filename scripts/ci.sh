@@ -79,11 +79,42 @@ echo "+ $LINT --flow (expect 'flow: clean')"
 "$LINT" --flow --quiet examples/circuits/parity8.blif lib/msu_big.genlib \
   | grep -q "^flow: clean"
 
+# ---- Formal verification (sanitized build) -----------------------------
+# The prover must prove every example's mapped netlist equivalent to its
+# source, the netlist lint must stay quiet on the clean corpus and flag
+# every file in the malformed one, and an injected miscompare must be
+# refuted with a replayed counterexample (exit 0 = refuted-as-expected).
+for blif in examples/circuits/*.blif; do
+  run "$LINT" --prove --quiet "$blif" lib/msu_big.genlib
+  run "$LINT" --lint-netlist --quiet "$blif"
+done
+for bad in tests/data/bad/*.blif; do
+  echo "+ $LINT --lint-netlist $bad (expect exit 1)"
+  set +e
+  "$LINT" --lint-netlist --quiet "$bad"
+  status=$?
+  set -e
+  if [[ "$status" -ne 1 ]]; then
+    echo "FAIL: --lint-netlist $bad exited $status, expected 1" >&2
+    exit 1
+  fi
+done
+run "$LINT" --inject=verify:miscompare --quiet \
+    examples/circuits/full_adder.blif lib/msu_big.genlib
+
+# The full flow must carry a proven verify stage end to end.
+echo "+ LILY_VERIFY=prove $LINT --flow (expect 'flow: clean')"
+LILY_VERIFY=prove "$LINT" --flow --quiet \
+    examples/circuits/parity8.blif lib/msu_big.genlib | grep -q "^flow: clean"
+
 # ---- ECO smoke: incremental pipeline + stale-epoch probe ---------------
 # A small local delta must be absorbed incrementally with the maintained
 # netlist staying equivalent, and a corrupted version stamp must be
 # rejected (lily_lint exits 0 exactly when the rejection happened).
 run "$LINT" --eco=3 --quiet examples/circuits/parity8.blif lib/msu_big.genlib
+# The spliced ECO result must also be *provable*, not just simulation-clean.
+run env LILY_VERIFY=prove "$LINT" --eco=3 --quiet \
+    examples/circuits/parity8.blif lib/msu_big.genlib
 run "$LINT" --inject=eco:stale-epoch --quiet \
     examples/circuits/parity8.blif lib/msu_big.genlib
 
@@ -93,6 +124,13 @@ run "$LINT" --inject=eco:stale-epoch --quiet \
 run build-ci-release/bench/eco_scaling --gate=5 --out=BENCH_eco.json
 echo "+ BENCH_eco.json:"
 cat BENCH_eco.json
+
+# ---- CEC cost curve (release build) ------------------------------------
+# cec_scaling proves every mapped workload equivalent (exit non-zero on any
+# non-Proven verdict) and records the sim-vs-prove cost curve.
+run build-ci-release/bench/cec_scaling --quick --out=BENCH_cec.json
+echo "+ BENCH_cec.json:"
+cat BENCH_cec.json
 
 # ---- Perf smoke: calibrated regression + determinism check -------------
 # perf_scaling runs the full Lily flow single- and multi-threaded, writes

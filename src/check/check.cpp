@@ -33,6 +33,7 @@ const char* to_string(CheckStage stage) {
         case CheckStage::Placement: return "placement";
         case CheckStage::Mapped: return "mapped";
         case CheckStage::Pipeline: return "pipeline";
+        case CheckStage::Verify: return "verify";
     }
     return "?";
 }

@@ -42,6 +42,7 @@ enum class CheckStage : std::uint8_t {
     Placement,  // global+detailed placement, pads
     Mapped,     // mapped gate netlist, timing
     Pipeline,   // cross-stage artifact versioning (ECO staleness)
+    Verify,     // formal equivalence engine, netlist lint passes
 };
 
 const char* to_string(CheckStage stage);

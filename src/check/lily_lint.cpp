@@ -8,6 +8,20 @@
 //     --level=light|paranoid   light = structural checks only (default:
 //                              paranoid, adds simulation equivalence and
 //                              per-match cone verification)
+//     --prove                  formal mode: map the circuit and prove the
+//                              mapped netlist equivalent to the source with
+//                              the SAT-sweeping CEC engine. Exit 0 only on
+//                              a complete proof. With
+//                              --inject=verify:miscompare the expectation
+//                              inverts: one gate function is flipped and
+//                              the run passes exactly when the engine
+//                              refutes it with a replayable counterexample.
+//     --lint-netlist           static netlist lint: run the src/verify/
+//                              lint passes (cycles, undriven/multi-driven
+//                              nets, floating inputs, dead cones, constant
+//                              logic) over the BLIF alone; the library
+//                              argument is optional. A parse failure counts
+//                              as a finding.
 //     --inject=<kind>          deliberately corrupt one stage to prove the
 //                              checkers catch it: cycle, offchip, badpad,
 //                              wrong-cover, dup-drive. A kind of the form
@@ -38,6 +52,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +70,8 @@
 #include "place/netlist_adapters.hpp"
 #include "subject/decompose.hpp"
 #include "util/fault.hpp"
+#include "verify/cec.hpp"
+#include "verify/lint.hpp"
 
 namespace {
 
@@ -72,17 +89,20 @@ struct LintArgs {
     double budget_ms = 0.0;
     bool eco_mode = false;
     std::size_t eco_edits = 0;
+    bool prove_mode = false;
+    bool netlist_lint_mode = false;
 };
 
 void usage(std::FILE* to) {
     std::fputs(
         "usage: lily_lint [--level=light|paranoid] [--inject=kind] "
-        "[--flow[=lily|baseline|adaptive]] [--eco=N] [--budget-ms=N] "
-        "[--max-match-nodes=N] [--quiet] <circuit.blif> <library.genlib>\n"
+        "[--flow[=lily|baseline|adaptive]] [--prove] [--lint-netlist] [--eco=N] "
+        "[--budget-ms=N] [--max-match-nodes=N] [--quiet] <circuit.blif> [<library.genlib>]\n"
         "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n"
         "  fault specs (imply --flow): parser:skip-gate placement:diverge "
         "matcher:no-match router:overbudget\n"
-        "  fault specs (imply --eco): eco:stale-epoch\n",
+        "  fault specs (imply --eco): eco:stale-epoch\n"
+        "  fault specs (imply --prove): verify:miscompare\n",
         to);
 }
 
@@ -105,7 +125,7 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                 // corruption; they only make sense in flow mode.
                 static const char* kFaults[] = {"parser:skip-gate", "placement:diverge",
                                                 "matcher:no-match", "router:overbudget",
-                                                "eco:stale-epoch"};
+                                                "eco:stale-epoch", "verify:miscompare"};
                 bool known = false;
                 for (const char* f : kFaults) known = known || out.inject == f;
                 if (!known) {
@@ -118,6 +138,10 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                     // This probe only fires inside run_eco_flow_checked.
                     out.eco_mode = true;
                     if (out.eco_edits == 0) out.eco_edits = 2;
+                } else if (out.inject == "verify:miscompare") {
+                    // Handled locally by the prove mode (the flipped gate
+                    // must be refuted with a counterexample).
+                    out.prove_mode = true;
                 } else {
                     out.flow_mode = true;
                 }
@@ -132,6 +156,10 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
                     return false;
                 }
             }
+        } else if (arg == "--prove") {
+            out.prove_mode = true;
+        } else if (arg == "--lint-netlist") {
+            out.netlist_lint_mode = true;
         } else if (arg == "--flow" || arg.rfind("--flow=", 0) == 0) {
             out.flow_mode = true;
             if (arg.size() > 6) {
@@ -170,28 +198,91 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
             positional.push_back(arg);
         }
     }
-    if (positional.size() != 2) return false;
+    // Netlist lint reads only the BLIF; every other mode needs the library.
+    if (out.netlist_lint_mode ? (positional.empty() || positional.size() > 2)
+                              : positional.size() != 2) {
+        return false;
+    }
     out.blif_path = positional[0];
-    out.genlib_path = positional[1];
+    if (positional.size() == 2) out.genlib_path = positional[1];
     return true;
 }
 
-/// Replace one instance's gate with a different same-arity gate whose truth
-/// table differs — a functionally wrong cover the equivalence check must
-/// catch.
-bool inject_wrong_cover(MappedNetlist& mapped, const Library& lib) {
-    for (GateInstance& inst : mapped.gates) {
-        const Gate& current = lib.gate(inst.gate);
-        for (GateId g = 0; g < lib.size(); ++g) {
-            const Gate& candidate = lib.gate(g);
-            if (g != inst.gate && candidate.n_inputs() == current.n_inputs() &&
-                !(candidate.function == current.function)) {
-                inst.gate = g;
-                return true;
-            }
-        }
+/// Prove mode: map the circuit with the baseline mapper and prove the
+/// mapped netlist equivalent to the source via SAT-sweeping CEC. With the
+/// verify:miscompare fault the expectation inverts — one gate function is
+/// flipped and the run passes exactly when the engine refutes it with a
+/// counterexample (whose mismatches check_equivalence already confirmed by
+/// replaying the model through simulate_block).
+int run_prove_mode(const LintArgs& args) {
+    Network net("lint");
+    Library lib;
+    try {
+        net = read_blif_file(args.blif_path);
+        lib = read_genlib_file(args.genlib_path);
+        lib.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lily_lint: %s\n", e.what());
+        return 2;
     }
-    return false;
+
+    const bool expect_refuted = args.inject == "verify:miscompare";
+    std::optional<Network> impl;
+    try {
+        const DecomposeResult sub = decompose(net);
+        MapResult mapped = BaseMapper(lib).map(sub.graph);
+        if (expect_refuted && !inject_wrong_cover(mapped.netlist, lib)) {
+            std::fprintf(stderr, "lily_lint: library too small to inject verify:miscompare\n");
+            return 2;
+        }
+        impl = mapped.netlist.to_network(lib);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lily_lint: pipeline failed: %s\n", e.what());
+        return 2;
+    }
+
+    const StatusOr<CecResult> cec_or = check_equivalence(net, *impl);
+    if (!cec_or.is_ok()) {
+        std::fprintf(stderr, "lily_lint: prove failed: %s\n",
+                     cec_or.status().to_string().c_str());
+        return 1;
+    }
+    const CecResult& cec = cec_or.value();
+    if (!args.quiet) {
+        std::printf("prove: %s (aig-ands=%zu merged=%zu sat-calls=%zu conflicts=%llu)\n",
+                    to_string(cec.verdict), cec.stats.aig_and_nodes, cec.stats.merged_nodes,
+                    cec.stats.sat_calls,
+                    static_cast<unsigned long long>(cec.stats.conflicts));
+        if (cec.cex.has_value()) std::printf("prove: %s\n", cec.cex->to_string().c_str());
+        if (!cec.note.empty()) std::printf("prove: %s\n", cec.note.c_str());
+    }
+    if (expect_refuted) {
+        if (cec.verdict == CecVerdict::Refuted) {
+            std::printf("prove: injected miscompare refuted as expected\n");
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "lily_lint: verify:miscompare fault was NOT refuted (prover gap)\n");
+        return 1;
+    }
+    return cec.verdict == CecVerdict::Proven ? 0 : 1;
+}
+
+/// Netlist lint mode: the static src/verify/ lint passes over the BLIF
+/// alone. A parse failure is itself a finding (malformed netlists are
+/// exactly what lint exists to flag), so it exits 1, not 2.
+int run_netlist_lint_mode(const LintArgs& args) {
+    const StatusOr<Network> net = read_blif_file_checked(args.blif_path);
+    if (!net.is_ok()) {
+        if (!args.quiet) std::printf("error [verify]: %s\n", net.status().to_string().c_str());
+        std::printf("TOTAL      1 error(s), 0 warning(s)\n");
+        return 1;
+    }
+    const CheckReport rep = lint_network(net.value());
+    if (!args.quiet && !rep.empty()) std::fputs(rep.to_string().c_str(), stdout);
+    std::printf("TOTAL      %zu error(s), %zu warning(s)\n", rep.error_count(),
+                rep.warning_count());
+    return rep.has_errors() ? 1 : 0;
 }
 
 /// Flow mode: drive the fault-tolerant flow engine end to end and report
@@ -279,6 +370,8 @@ int main(int argc, char** argv) {
         usage(stderr);
         return 2;
     }
+    if (args.netlist_lint_mode) return run_netlist_lint_mode(args);
+    if (args.prove_mode) return run_prove_mode(args);
     if (args.eco_mode) return run_eco_mode(args);
     if (args.flow_mode) return run_flow_mode(args);
     const bool paranoid = args.level == CheckLevel::Paranoid;

@@ -166,4 +166,19 @@ CheckReport MappedChecker::check_timing(const MappedNetlist& m,
     return rep;
 }
 
+bool inject_wrong_cover(MappedNetlist& mapped, const Library& lib) {
+    for (GateInstance& inst : mapped.gates) {
+        const Gate& current = lib.gate(inst.gate);
+        for (GateId g = 0; g < lib.size(); ++g) {
+            const Gate& candidate = lib.gate(g);
+            if (g != inst.gate && candidate.n_inputs() == current.n_inputs() &&
+                !(candidate.function == current.function)) {
+                inst.gate = g;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 }  // namespace lily

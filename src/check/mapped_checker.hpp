@@ -40,4 +40,11 @@ private:
     MappedCheckerOptions opts_;
 };
 
+/// Deliberately corrupt `mapped` for checker/verifier self-tests: replace
+/// one instance's gate with a same-arity gate whose truth table differs (a
+/// functionally wrong cover). Returns false when the library carries no such
+/// pair. Shared by lily_lint --inject=wrong-cover and the flow's
+/// verify:miscompare fault probe.
+bool inject_wrong_cover(MappedNetlist& mapped, const Library& lib);
+
 }  // namespace lily

@@ -11,6 +11,7 @@
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
 #include "netlist/blif.hpp"
+#include "netlist/simulate.hpp"
 #include "subject/decompose.hpp"
 #include "util/fault.hpp"
 
@@ -255,6 +256,106 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
 
 }  // namespace
 
+Status run_verify_stage(const Network& source, const Library& lib, const MappedNetlist& mapped,
+                        const FlowOptions& opts, FlowDiagnostics& diag, const char* context) {
+    if (opts.verify == VerifyLevel::Off) return Status::ok();
+    const FlowClock::time_point t0 = FlowClock::now();
+    StageDiagnostics& vd = diag.stage("verify");
+    const auto finish = [&](StageState state, std::string note) {
+        vd.elapsed_ms += ms_since(t0);
+        vd.state = state;
+        vd.note = std::move(note);
+    };
+    const std::string ctx = std::string(context) + ": verify";
+
+    // Expand the mapped netlist into a Boolean network through its library
+    // cell functions; the verify:miscompare probe flips one gate first so
+    // the refutation path can be exercised deterministically.
+    std::optional<Network> impl;
+    try {
+        if (fault_enabled("verify", "miscompare")) {
+            MappedNetlist corrupted = mapped;
+            if (!inject_wrong_cover(corrupted, lib)) {
+                finish(StageState::Failed, "verify:miscompare probe found no same-arity gate pair");
+                return Status(StatusCode::InvariantViolation,
+                              ctx + ": miscompare probe could not corrupt the netlist "
+                                    "(library too small)");
+            }
+            impl = corrupted.to_network(lib);
+        } else {
+            impl = mapped.to_network(lib);
+        }
+    } catch (const std::exception& e) {
+        finish(StageState::Failed, e.what());
+        return Status(StatusCode::InvariantViolation, e.what()).with_context(ctx);
+    }
+
+    // Sim rung: random-vector comparison only.
+    const auto simulate_verdict = [&]() -> StatusOr<bool> {
+        return equivalent_random_checked(source, *impl, opts.cec.sim_blocks, opts.cec.seed);
+    };
+    if (opts.verify == VerifyLevel::Sim) {
+        StatusOr<bool> eq = simulate_verdict();
+        if (!eq.is_ok()) {
+            finish(StageState::Failed, eq.status().to_string());
+            Status bad = eq.status();
+            return bad.with_context(ctx);
+        }
+        if (!eq.value()) {
+            finish(StageState::Failed, "random simulation found a miscompare");
+            return Status(StatusCode::InvariantViolation,
+                          ctx + ": mapped netlist miscompares with the source network "
+                                "under random simulation");
+        }
+        finish(StageState::Ok, "equivalent on " + std::to_string(opts.cec.sim_blocks) +
+                                   " random blocks (simulation only)");
+        return Status::ok();
+    }
+
+    // Prove rung: SAT-sweeping CEC.
+    StatusOr<CecResult> cec_or = check_equivalence(source, *impl, opts.cec);
+    if (!cec_or.is_ok()) {
+        finish(StageState::Failed, cec_or.status().to_string());
+        Status bad = cec_or.status();
+        return bad.with_context(ctx);
+    }
+    const CecResult& cec = cec_or.value();
+    switch (cec.verdict) {
+        case CecVerdict::Proven:
+            finish(StageState::Ok,
+                   "proven equivalent (" + std::to_string(cec.stats.sat_calls) +
+                       " SAT call(s), " + std::to_string(cec.stats.merged_nodes) + " of " +
+                       std::to_string(cec.stats.aig_and_nodes) + " AIG nodes merged)");
+            return Status::ok();
+        case CecVerdict::Refuted:
+            finish(StageState::Failed, cec.cex->to_string());
+            return Status(StatusCode::InvariantViolation,
+                          ctx + ": mapped netlist is NOT equivalent to the source network; " +
+                              cec.cex->to_string());
+        case CecVerdict::Inconclusive:
+            break;
+    }
+
+    // Degradation rung: the proof ran out of budget; fall back to the
+    // random-simulation verdict and record the reduced confidence.
+    StatusOr<bool> eq = simulate_verdict();
+    if (!eq.is_ok()) {
+        finish(StageState::Failed, eq.status().to_string());
+        Status bad = eq.status();
+        return bad.with_context(ctx);
+    }
+    if (!eq.value()) {
+        finish(StageState::Failed, "proof inconclusive and simulation found a miscompare");
+        return Status(StatusCode::InvariantViolation,
+                      ctx + ": proof inconclusive (" + cec.note +
+                          ") and random simulation found a miscompare");
+    }
+    finish(StageState::Degraded,
+           "proof inconclusive (" + cec.note + "); fell back to the random-simulation "
+               "verdict: no miscompare on " + std::to_string(opts.cec.sim_blocks) + " blocks");
+    return Status::ok();
+}
+
 StatusOr<FlowResult> run_backend_checked(const MappedNetlist& mapped, const Library& lib,
                                          const FlowOptions& opts,
                                          std::optional<PadsInRegion> pads,
@@ -320,6 +421,8 @@ StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library
                               "run_baseline_flow: matches");
         verify_mapped(opts.check, lib, res->netlist, net, "run_baseline_flow: mapping");
     }));
+    LILY_RETURN_IF_ERROR(
+        run_verify_stage(net, lib, res->netlist, opts, diag, "run_baseline_flow"));
     return backend_impl(res->netlist, lib, opts, std::nullopt, std::nullopt, std::move(diag),
                         totalp);
 }
@@ -396,6 +499,8 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
             verify_mapped(opts.check, lib, fallback->netlist, net,
                           "run_lily_flow: fallback mapping");
         }));
+        LILY_RETURN_IF_ERROR(
+            run_verify_stage(net, lib, fallback->netlist, opts, diag, "run_lily_flow"));
         StatusOr<FlowResult> out = backend_impl(fallback->netlist, lib, opts, std::nullopt,
                                                 std::nullopt, std::move(diag), totalp, capture);
         if (out.is_ok() && capture != nullptr) {
@@ -435,6 +540,8 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
             rep.throw_if_errors("run_lily_flow: inchoate placement");
         }
     }));
+
+    LILY_RETURN_IF_ERROR(run_verify_stage(net, lib, res.netlist, opts, diag, "run_lily_flow"));
 
     // Reuse the pre-mapping pad assignment for the back end; the pad ring
     // was chosen on the inchoate region, so pass that region for rescaling.

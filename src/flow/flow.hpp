@@ -27,6 +27,7 @@
 #include "sta/timing.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
+#include "verify/cec.hpp"
 
 namespace lily {
 
@@ -92,6 +93,16 @@ struct FlowOptions {
     /// LILY_CHECK_LEVEL environment variable (off when unset), so test and
     /// CI runs can turn the whole pipeline paranoid without code changes.
     CheckLevel check = check_level_from_env();
+    /// Post-mapping equivalence verification: compare the mapped netlist
+    /// (through its library cell functions) against the source network.
+    /// Sim = random simulation; Prove = SAT-sweeping CEC, falling back to
+    /// the simulation verdict when a proof is inconclusive (recorded as a
+    /// Degraded "verify" stage). A refuted/miscompared netlist fails the
+    /// flow with InvariantViolation carrying the counterexample. Defaults
+    /// to the LILY_VERIFY environment variable (off when unset).
+    VerifyLevel verify = verify_level_from_env();
+    /// Prover knobs (budgets, simulation blocks) for the verify stage.
+    CecOptions cec;
     /// Per-stage wall-clock budgets (default: LILY_BUDGET_MS or unlimited).
     FlowBudget budget;
     /// Fallback/retry behavior when a stage fails or runs out of budget.
@@ -200,6 +211,18 @@ struct PadsInRegion {
 FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
                        std::optional<PadsInRegion> pads = std::nullopt,
                        std::optional<std::vector<Point>> seed_positions = std::nullopt);
+
+/// The verify stage shared by the batch and ECO entry points: check that
+/// `mapped` (through its library cell functions) computes the same function
+/// as `source`, honoring FlowOptions::verify (Off is a no-op). Outcomes land
+/// in `diag` under stage "verify": Ok on a proof or clean simulation,
+/// Degraded when a proof was inconclusive and the simulation fallback found
+/// no miscompare. A disagreement returns InvariantViolation carrying the
+/// counterexample (replayed through simulate_block). The verify:miscompare
+/// fault probe flips one gate function first, so tests can prove the
+/// refutation path stays live.
+Status run_verify_stage(const Network& source, const Library& lib, const MappedNetlist& mapped,
+                        const FlowOptions& opts, FlowDiagnostics& diag, const char* context);
 
 /// Status form of run_backend (diagnostics carried on the result).
 StatusOr<FlowResult> run_backend_checked(

@@ -1,0 +1,80 @@
+#include "netlist/interface.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace lily {
+
+namespace {
+
+Status mismatch(const std::string& what, const std::string& detail) {
+    return Status(StatusCode::InvariantViolation,
+                  "align_interfaces: " + what + ": " + detail);
+}
+
+}  // namespace
+
+StatusOr<InterfaceAlignment> align_interfaces(const Network& a, const Network& b) {
+    if (a.inputs().size() != b.inputs().size()) {
+        return mismatch("PI count differs", a.name() + " has " +
+                                                std::to_string(a.inputs().size()) + ", " +
+                                                b.name() + " has " +
+                                                std::to_string(b.inputs().size()));
+    }
+    if (a.outputs().size() != b.outputs().size()) {
+        return mismatch("PO count differs", a.name() + " has " +
+                                                std::to_string(a.outputs().size()) + ", " +
+                                                b.name() + " has " +
+                                                std::to_string(b.outputs().size()));
+    }
+
+    InterfaceAlignment out;
+    std::unordered_map<std::string, std::size_t> pi_index;
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        const std::string& name = a.node(a.inputs()[i]).name;
+        if (!pi_index.emplace(name, i).second) {
+            return mismatch("duplicate PI name in " + a.name(), "'" + name + "'");
+        }
+    }
+    out.pi_of_b.resize(b.inputs().size());
+    std::vector<bool> pi_taken(a.inputs().size(), false);
+    for (std::size_t i = 0; i < b.inputs().size(); ++i) {
+        const std::string& name = b.node(b.inputs()[i]).name;
+        const auto it = pi_index.find(name);
+        if (it == pi_index.end()) {
+            return mismatch("PI name set differs",
+                            "'" + name + "' of " + b.name() + " not in " + a.name());
+        }
+        if (pi_taken[it->second]) {
+            return mismatch("duplicate PI name in " + b.name(), "'" + name + "'");
+        }
+        pi_taken[it->second] = true;
+        out.pi_of_b[i] = it->second;
+    }
+
+    std::unordered_map<std::string, std::size_t> po_index;
+    for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+        const std::string& name = a.outputs()[i].name;
+        if (!po_index.emplace(name, i).second) {
+            return mismatch("duplicate PO name in " + a.name(), "'" + name + "'");
+        }
+    }
+    out.po_of_b.resize(b.outputs().size());
+    std::vector<bool> po_taken(a.outputs().size(), false);
+    for (std::size_t i = 0; i < b.outputs().size(); ++i) {
+        const std::string& name = b.outputs()[i].name;
+        const auto it = po_index.find(name);
+        if (it == po_index.end()) {
+            return mismatch("PO name set differs",
+                            "'" + name + "' of " + b.name() + " not in " + a.name());
+        }
+        if (po_taken[it->second]) {
+            return mismatch("duplicate PO name in " + b.name(), "'" + name + "'");
+        }
+        po_taken[it->second] = true;
+        out.po_of_b[i] = it->second;
+    }
+    return out;
+}
+
+}  // namespace lily

@@ -1,0 +1,33 @@
+// Name-based PI/PO interface correspondence between two networks.
+//
+// Every equivalence-oriented comparison in the repository (random
+// simulation, the AIG miter of the CEC engine, the ECO benches) must first
+// line up the two circuits' primary inputs and outputs by *name* — ids and
+// declaration order are transformation artifacts and legitimately differ
+// between a source network and its mapped or edited counterpart. This is
+// the one shared implementation of that alignment; a mismatched name set is
+// a loud InvariantViolation, never a silent positional fallback.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "util/status.hpp"
+
+namespace lily {
+
+/// Correspondence of `b`'s interface onto `a`'s: b's PI i carries the same
+/// signal as a's PI `pi_of_b[i]`, and b's PO i must equal a's PO
+/// `po_of_b[i]`.
+struct InterfaceAlignment {
+    std::vector<std::size_t> pi_of_b;
+    std::vector<std::size_t> po_of_b;
+};
+
+/// Match the PI/PO name sets of `a` and `b`. Count mismatches, names present
+/// on one side only, and duplicate names within one side all yield
+/// StatusCode::InvariantViolation naming the offending pin.
+StatusOr<InterfaceAlignment> align_interfaces(const Network& a, const Network& b);
+
+}  // namespace lily

@@ -3,7 +3,8 @@
 #include <bit>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+
+#include "netlist/interface.hpp"
 
 namespace lily {
 
@@ -53,46 +54,32 @@ std::vector<std::uint64_t> simulate_random(const Network& net, std::size_t block
     return out;
 }
 
-bool equivalent_random(const Network& a, const Network& b, std::size_t blocks,
-                       std::uint64_t seed) {
-    if (a.inputs().size() != b.inputs().size() || a.outputs().size() != b.outputs().size()) {
-        return false;
-    }
-    // Map b's PIs/POs onto a's by name so input words line up.
-    std::unordered_map<std::string, std::size_t> pi_index;
-    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-        pi_index.emplace(a.node(a.inputs()[i]).name, i);
-    }
-    std::vector<std::size_t> b_pi_order(b.inputs().size());
-    for (std::size_t i = 0; i < b.inputs().size(); ++i) {
-        const auto it = pi_index.find(b.node(b.inputs()[i]).name);
-        if (it == pi_index.end()) return false;
-        b_pi_order[i] = it->second;
-    }
-    std::unordered_map<std::string, std::size_t> po_index;
-    for (std::size_t i = 0; i < a.outputs().size(); ++i) po_index.emplace(a.outputs()[i].name, i);
-    std::vector<std::size_t> b_po_order(b.outputs().size());
-    for (std::size_t i = 0; i < b.outputs().size(); ++i) {
-        const auto it = po_index.find(b.outputs()[i].name);
-        if (it == po_index.end()) return false;
-        b_po_order[i] = it->second;
-    }
+StatusOr<bool> equivalent_random_checked(const Network& a, const Network& b,
+                                         std::size_t blocks, std::uint64_t seed) {
+    LILY_ASSIGN_OR_RETURN(const InterfaceAlignment align, align_interfaces(a, b));
 
     Rng rng(seed);
     std::vector<std::uint64_t> ins_a(a.inputs().size());
     std::vector<std::uint64_t> ins_b(b.inputs().size());
     for (std::size_t blk = 0; blk < blocks; ++blk) {
         for (auto& w : ins_a) w = rng.next_u64();
-        for (std::size_t i = 0; i < ins_b.size(); ++i) ins_b[i] = ins_a[b_pi_order[i]];
+        for (std::size_t i = 0; i < ins_b.size(); ++i) ins_b[i] = ins_a[align.pi_of_b[i]];
         const auto va = simulate_block(a, ins_a);
         const auto vb = simulate_block(b, ins_b);
         for (std::size_t i = 0; i < b.outputs().size(); ++i) {
-            const std::uint64_t wa = va[a.outputs()[b_po_order[i]].driver];
+            const std::uint64_t wa = va[a.outputs()[align.po_of_b[i]].driver];
             const std::uint64_t wb = vb[b.outputs()[i].driver];
             if (wa != wb) return false;
         }
     }
     return true;
+}
+
+bool equivalent_random(const Network& a, const Network& b, std::size_t blocks,
+                       std::uint64_t seed) {
+    StatusOr<bool> eq = equivalent_random_checked(a, b, blocks, seed);
+    if (!eq.is_ok()) throw std::logic_error(eq.status().to_string());
+    return eq.value();
 }
 
 }  // namespace lily

@@ -10,6 +10,7 @@
 
 #include "netlist/network.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace lily {
 
@@ -24,9 +25,17 @@ std::vector<std::uint64_t> simulate_block(const Network& net,
 std::vector<std::uint64_t> simulate_random(const Network& net, std::size_t blocks,
                                            std::uint64_t seed);
 
-/// Compare two networks with identical PI/PO interfaces (matched by name)
-/// on `blocks` random 64-pattern blocks. Returns true iff all PO words
-/// agree everywhere.
+/// Compare two networks with identical PI/PO interfaces (matched by name,
+/// via align_interfaces) on `blocks` random 64-pattern blocks. Returns
+/// false when some PO word disagrees; a PI/PO name-set mismatch is not a
+/// miscompare but a caller bug and comes back as an error Status
+/// (InvariantViolation) instead of a silent `false`.
+StatusOr<bool> equivalent_random_checked(const Network& a, const Network& b,
+                                         std::size_t blocks, std::uint64_t seed);
+
+/// Throwing wrapper: true iff equivalent on every sampled vector. A PI/PO
+/// interface mismatch raises std::logic_error (it historically returned
+/// false, which let interface bugs masquerade as miscompares).
 bool equivalent_random(const Network& a, const Network& b, std::size_t blocks,
                        std::uint64_t seed);
 

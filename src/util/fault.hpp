@@ -13,6 +13,12 @@
 //                         (flow falls back to wire-blind baseline mapping)
 //   router:overbudget     global routing behaves as if its budget were
 //                         already exhausted (metrics fall back to HPWL)
+//   verify:miscompare     the verify stage flips one mapped gate to a
+//                         same-arity gate with a different function before
+//                         checking; the CEC engine must refute it with a
+//                         replayable counterexample
+//   eco:stale-epoch       run_eco_flow_checked sees a mapping stamped with
+//                         an older network version and must reject it
 //
 // Injection is read-only configuration: with no spec set, every probe is
 // false and the pipeline is byte-for-byte the unfaulted one.

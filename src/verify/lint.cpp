@@ -1,0 +1,210 @@
+#include "verify/lint.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/aig.hpp"
+
+namespace lily {
+
+namespace {
+
+/// Iterative Tarjan SCC over the live fanin edges. Returns true when any
+/// cycle (SCC of size > 1, or a self-loop) was reported — the downstream
+/// constant pass is skipped then, because AIG lowering of a cyclic graph
+/// reads garbage.
+bool report_cycles(const Network& net, CheckReport& report) {
+    const std::size_t n = net.node_count();
+    constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<NodeId> stack;
+    std::uint32_t next_index = 0;
+    bool found = false;
+
+    struct Frame {
+        NodeId v;
+        std::size_t edge;
+    };
+    std::vector<Frame> frames;
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited || net.node(root).dead) continue;
+        frames.push_back({root, 0});
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const Node& node = net.node(f.v);
+            if (f.edge == 0) {
+                index[f.v] = lowlink[f.v] = next_index++;
+                stack.push_back(f.v);
+                on_stack[f.v] = true;
+            }
+            bool descended = false;
+            while (f.edge < node.fanins.size()) {
+                const NodeId w = node.fanins[f.edge++];
+                if (w >= n || net.node(w).dead) continue;  // reported elsewhere
+                if (w == f.v) {
+                    report.error(CheckStage::Verify, f.v,
+                                 "combinational self-loop on node '" + node.name + "'");
+                    found = true;
+                    continue;
+                }
+                if (index[w] == kUnvisited) {
+                    frames.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w]) lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+            }
+            if (descended) continue;
+            if (lowlink[f.v] == index[f.v]) {
+                std::vector<NodeId> scc;
+                for (;;) {
+                    const NodeId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    scc.push_back(w);
+                    if (w == f.v) break;
+                }
+                if (scc.size() > 1) {
+                    std::string msg = "combinational cycle through " +
+                                      std::to_string(scc.size()) + " nodes:";
+                    std::sort(scc.begin(), scc.end());
+                    for (std::size_t i = 0; i < scc.size() && i < 6; ++i) {
+                        msg += " '" + net.node(scc[i]).name + "'";
+                    }
+                    if (scc.size() > 6) msg += " ...";
+                    report.error(CheckStage::Verify, scc.front(), msg);
+                    found = true;
+                }
+            }
+            const NodeId v = f.v;
+            frames.pop_back();
+            if (!frames.empty()) {
+                lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+            }
+        }
+    }
+    return found;
+}
+
+}  // namespace
+
+CheckReport lint_network(const Network& net) {
+    CheckReport report;
+    const std::size_t n = net.node_count();
+
+    // Drivers and fanins must exist and be alive.
+    bool structure_ok = true;
+    for (const PrimaryOutput& po : net.outputs()) {
+        if (po.driver == kNullNode || po.driver >= n) {
+            report.error(CheckStage::Verify, kNoCheckNode,
+                         "output '" + po.name + "' has no driver node");
+            structure_ok = false;
+        } else if (net.node(po.driver).dead) {
+            report.error(CheckStage::Verify, po.driver,
+                         "output '" + po.name + "' is driven by dead node '" +
+                             net.node(po.driver).name + "'");
+            structure_ok = false;
+        }
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        const Node& node = net.node(id);
+        if (node.dead || node.kind != NodeKind::Logic) continue;
+        for (const NodeId f : node.fanins) {
+            if (f >= n) {
+                report.error(CheckStage::Verify, id,
+                             "node '" + node.name + "' reads out-of-range fanin " +
+                                 std::to_string(f));
+                structure_ok = false;
+            } else if (net.node(f).dead) {
+                report.error(CheckStage::Verify, id,
+                             "node '" + node.name + "' reads dead node '" +
+                                 net.node(f).name + "'");
+                structure_ok = false;
+            }
+        }
+    }
+
+    // Multi-driver nets: two live nodes carrying one name, or one PO name
+    // listed twice.
+    std::unordered_map<std::string, NodeId> name_owner;
+    for (NodeId id = 0; id < n; ++id) {
+        const Node& node = net.node(id);
+        if (node.dead || node.name.empty()) continue;
+        const auto [it, inserted] = name_owner.emplace(node.name, id);
+        if (!inserted) {
+            report.error(CheckStage::Verify, id,
+                         "net '" + node.name + "' is driven by nodes " +
+                             std::to_string(it->second) + " and " + std::to_string(id));
+        }
+    }
+    std::unordered_map<std::string, std::size_t> po_seen;
+    for (const PrimaryOutput& po : net.outputs()) {
+        if (++po_seen[po.name] == 2) {
+            report.error(CheckStage::Verify, kNoCheckNode,
+                         "output name '" + po.name + "' is declared more than once");
+        }
+    }
+
+    const bool cyclic = report_cycles(net, report);
+
+    // Backward reachability from the POs over live fanin edges: anything
+    // unreached computes nothing observable.
+    std::vector<bool> reaches_po(n, false);
+    std::vector<NodeId> worklist;
+    for (const PrimaryOutput& po : net.outputs()) {
+        if (po.driver != kNullNode && po.driver < n && !net.node(po.driver).dead &&
+            !reaches_po[po.driver]) {
+            reaches_po[po.driver] = true;
+            worklist.push_back(po.driver);
+        }
+    }
+    while (!worklist.empty()) {
+        const NodeId v = worklist.back();
+        worklist.pop_back();
+        for (const NodeId f : net.node(v).fanins) {
+            if (f < n && !net.node(f).dead && !reaches_po[f]) {
+                reaches_po[f] = true;
+                worklist.push_back(f);
+            }
+        }
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        const Node& node = net.node(id);
+        if (node.dead || reaches_po[id]) continue;
+        if (node.kind == NodeKind::PrimaryInput) {
+            report.warning(CheckStage::Verify, id,
+                           "floating input '" + node.name + "' reaches no output");
+        } else {
+            report.warning(CheckStage::Verify, id,
+                           "dead cone: node '" + node.name + "' reaches no output");
+        }
+    }
+
+    // Constant-mergeable logic: AIG lowering (structural hashing + constant
+    // propagation) collapses the node's function to 0/1 even though it has
+    // fanins. Meaningless on cyclic or structurally broken graphs.
+    if (structure_ok && !cyclic) {
+        Aig aig;
+        std::vector<AigLit> pi_lits(net.inputs().size());
+        for (AigLit& l : pi_lits) l = aig_lit(aig.add_input(), false);
+        const std::vector<AigLit> lit = lower_network(net, aig, pi_lits);
+        for (NodeId id = 0; id < n; ++id) {
+            const Node& node = net.node(id);
+            if (node.dead || node.kind != NodeKind::Logic || node.fanins.empty()) continue;
+            if (lit[id] == kAigFalse || lit[id] == kAigTrue) {
+                report.warning(CheckStage::Verify, id,
+                               "node '" + node.name + "' computes constant " +
+                                   (lit[id] == kAigTrue ? "1" : "0") +
+                                   " and can be merged");
+            }
+        }
+    }
+
+    return report;
+}
+
+}  // namespace lily

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <stdexcept>
 
 #include "netlist/network.hpp"
 #include "netlist/simulate.hpp"
@@ -301,12 +302,18 @@ TEST(Equivalence, PiOrderIndependent) {
     EXPECT_TRUE(equivalent_random(a, b, 4, 5));
 }
 
-TEST(Equivalence, InterfaceMismatchIsInequivalent) {
+TEST(Equivalence, InterfaceMismatchIsLoudNotInequivalent) {
+    // A PI/PO name-set mismatch is a caller bug, not a miscompare: the
+    // checked API reports InvariantViolation and the throwing wrapper
+    // raises instead of returning a silent `false`.
     Network a("m");
     a.add_output("f", a.make_not(a.add_input("x")));
     Network b("m");
     b.add_output("f", b.make_not(b.add_input("y")));  // different PI name
-    EXPECT_FALSE(equivalent_random(a, b, 1, 9));
+    const StatusOr<bool> eq = equivalent_random_checked(a, b, 1, 9);
+    ASSERT_FALSE(eq.is_ok());
+    EXPECT_EQ(eq.status().code(), StatusCode::InvariantViolation);
+    EXPECT_THROW(equivalent_random(a, b, 1, 9), std::logic_error);
 }
 
 TEST(Equivalence, XorDecompositionEquivalent) {

@@ -136,6 +136,35 @@ TEST(Robustness, FlowFromFilesReportsParseStage) {
         << res.status().to_string();
 }
 
+TEST(Robustness, VerifyMiscompareRefutedAtEveryThreadCount) {
+    // The flipped gate must be caught by the prover — with a replayable
+    // counterexample, not a vague failure — regardless of how the parallel
+    // kernels carve up the work.
+    FaultGuard fault("verify:miscompare");
+    const Library lib = load_msu_big();
+    const Network net = test_network();
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        FlowOptions opts;
+        opts.threads = threads;
+        opts.verify = VerifyLevel::Prove;
+        const StatusOr<FlowResult> res = run_lily_flow_checked(net, lib, opts);
+        ASSERT_FALSE(res.is_ok()) << "threads=" << threads;
+        EXPECT_EQ(res.status().code(), StatusCode::InvariantViolation) << "threads=" << threads;
+        EXPECT_NE(res.status().to_string().find("counterexample"), std::string::npos)
+            << "threads=" << threads << ": " << res.status().to_string();
+    }
+}
+
+TEST(Robustness, VerifyMiscompareCaughtBySimulationRungToo) {
+    FaultGuard fault("verify:miscompare");
+    const Library lib = load_msu_big();
+    FlowOptions opts;
+    opts.verify = VerifyLevel::Sim;
+    const StatusOr<FlowResult> res = run_lily_flow_checked(test_network(), lib, opts);
+    ASSERT_FALSE(res.is_ok());
+    EXPECT_EQ(res.status().code(), StatusCode::InvariantViolation);
+}
+
 // --- Malformed BLIF corpus ------------------------------------------------
 
 StatusOr<Network> read_bad(const char* name) {
