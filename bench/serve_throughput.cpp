@@ -1,0 +1,307 @@
+// Serving-layer throughput bench: spawns a real lily_serve daemon and
+// measures, at 1/4/8 worker slots,
+//   * batch throughput (jobs/sec over a submitted-then-drained batch),
+//   * closed-loop round-trip latency (p50/p99 over sequential map calls),
+//   * shed rate under a 2x-capacity overload burst,
+// and gates on bit-identity: every served mapped BLIF must equal the
+// in-process run_flow_job output for the same spec byte for byte (the PR 3
+// determinism guarantee extended across the process boundary).
+//
+//   serve_throughput [--out=BENCH_serve.json] [--quick]
+//
+// Exit 0 iff every served output was bit-identical and the overload burst
+// shed at least one job at every slot count.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "circuits/benchmarks.hpp"
+#include "netlist/blif.hpp"
+#include "serve/client.hpp"
+#include "util/json.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace lily;
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+struct SlotResult {
+    std::uint32_t workers = 0;
+    std::uint32_t batch_jobs = 0;
+    double batch_ms = 0.0;
+    double jobs_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint32_t overload_submits = 0;
+    std::uint32_t overload_shed = 0;
+    double shed_rate = 0.0;
+    bool bit_identical = false;
+};
+
+std::string read_genlib_text() {
+    // The bench runs from anywhere; the library ships with the repo and the
+    // binary embeds the source path at compile time via the circuits dep.
+    std::ifstream in(std::string(LILY_SOURCE_DIR) + "/lib/msu_tiny.genlib",
+                     std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_serve.json";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            std::fprintf(stderr, "serve_throughput: bad argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    char tmpl[] = "/tmp/lily-bench-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+        std::perror("mkdtemp");
+        return 2;
+    }
+    const std::string dir = tmpl;
+    const std::string genlib = read_genlib_text();
+    const std::vector<std::pair<std::string, std::string>> circuits = {
+        {"alu4", write_blif(make_alu(4))},
+        {"sym9", write_blif(make_symmetric9())},
+        {"ctl", write_blif(make_control_logic(12, 6, 60, 7, "ctl"))},
+    };
+
+    const std::uint32_t batch_n = quick ? 12 : 48;
+    const std::uint32_t latency_n = quick ? 8 : 24;
+    const std::uint32_t queue_cap = 16;
+    const std::vector<std::uint32_t> slot_counts = {1, 4, 8};
+    std::vector<SlotResult> results;
+    bool all_identical = true;
+    bool all_shed = true;
+
+    // Reference outputs computed once, in-process, per circuit.
+    std::vector<std::string> reference;
+    for (const auto& [name, blif] : circuits) {
+        JobSpec spec;
+        spec.name = name;
+        spec.blif = blif;
+        spec.genlib = genlib;
+        reference.push_back(run_flow_job(spec).mapped_blif);
+    }
+
+    for (const std::uint32_t workers : slot_counts) {
+        const std::string socket = dir + "/serve-" + std::to_string(workers) + ".sock";
+        const std::string spool = dir + "/spool-" + std::to_string(workers);
+        const std::vector<std::string> daemon_argv = {
+            LILY_SERVE_BIN,
+            "--socket=" + socket,
+            "--spool=" + spool,
+            "--workers=" + std::to_string(workers),
+            "--queue-cap=" + std::to_string(queue_cap),
+        };
+        StatusOr<pid_t> spawned = spawn_process(daemon_argv, dir + "/server.log");
+        if (!spawned.is_ok()) {
+            std::fprintf(stderr, "serve_throughput: spawn failed: %s\n",
+                         spawned.status().to_string().c_str());
+            return 1;
+        }
+        const pid_t pid = spawned.value();
+        ServeClient client(socket);
+        for (int i = 0; i < 200 && !client.health().is_ok(); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+
+        SlotResult row;
+        row.workers = workers;
+        row.batch_jobs = batch_n;
+        row.bit_identical = true;
+
+        // Phase 1: bit-identity gate (also warms the daemon).
+        for (std::size_t c = 0; c < circuits.size(); ++c) {
+            JobSpec spec;
+            spec.name = circuits[c].first;
+            spec.blif = circuits[c].second;
+            spec.genlib = genlib;
+            const StatusOr<JobOutcome> served = client.map(spec);
+            if (!served.is_ok() || served.value().mapped_blif != reference[c]) {
+                row.bit_identical = false;
+                std::fprintf(stderr,
+                             "serve_throughput: served output for %s at %u workers is "
+                             "NOT bit-identical to in-process flow\n",
+                             circuits[c].first.c_str(), workers);
+            }
+        }
+
+        // Phase 2: batch throughput — submit everything, then drain.
+        const double batch_start = now_ms();
+        std::vector<std::uint64_t> ids;
+        for (std::uint32_t i = 0; i < batch_n; ++i) {
+            JobSpec spec;
+            spec.name = "batch-" + std::to_string(i);
+            spec.blif = circuits[i % circuits.size()].second;
+            spec.genlib = genlib;
+            for (;;) {
+                const StatusOr<SubmitReply> reply = client.submit(spec);
+                if (!reply.is_ok()) {
+                    std::fprintf(stderr, "serve_throughput: submit failed: %s\n",
+                                 reply.status().to_string().c_str());
+                    return 1;
+                }
+                if (reply.value().accepted) {
+                    ids.push_back(reply.value().job_id);
+                    break;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::max<std::uint32_t>(reply.value().retry_after_ms, 5)));
+            }
+        }
+        for (const std::uint64_t id : ids) {
+            for (;;) {
+                const StatusOr<ResultReply> reply = client.wait(id, 2000);
+                if (!reply.is_ok()) {
+                    std::fprintf(stderr, "serve_throughput: wait failed: %s\n",
+                                 reply.status().to_string().c_str());
+                    return 1;
+                }
+                if (reply.value().terminal) break;
+            }
+        }
+        row.batch_ms = now_ms() - batch_start;
+        row.jobs_per_sec = 1000.0 * batch_n / row.batch_ms;
+
+        // Phase 3: closed-loop latency distribution.
+        std::vector<double> latencies;
+        for (std::uint32_t i = 0; i < latency_n; ++i) {
+            JobSpec spec;
+            spec.name = "lat-" + std::to_string(i);
+            spec.blif = circuits[i % circuits.size()].second;
+            spec.genlib = genlib;
+            const double t0 = now_ms();
+            const StatusOr<JobOutcome> outcome = client.map(spec);
+            if (outcome.is_ok()) latencies.push_back(now_ms() - t0);
+        }
+        row.p50_ms = percentile(latencies, 0.50);
+        row.p99_ms = percentile(latencies, 0.99);
+
+        // Phase 4: 2x overload burst. A sequential submitter cannot outrun
+        // many fast workers, so first wedge every slot with an injected
+        // hang job; the burst then races only the queue, and submitting 2x
+        // its capacity must shed (never hang, never crash).
+        for (std::uint32_t i = 0; i < workers; ++i) {
+            JobSpec spec;
+            spec.name = "wedge-" + std::to_string(i);
+            spec.blif = circuits[0].second;
+            spec.genlib = genlib;
+            spec.fault_spec = "serve:hang-sticky";
+            (void)client.submit(spec);
+        }
+        for (int i = 0; i < 200; ++i) {
+            const StatusOr<HealthReply> h = client.health();
+            if (h.is_ok() && h.value().workers_busy == workers) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        const std::uint32_t burst = 2 * queue_cap;
+        for (std::uint32_t i = 0; i < burst; ++i) {
+            JobSpec spec;
+            spec.name = "burst-" + std::to_string(i);
+            spec.blif = circuits[i % circuits.size()].second;
+            spec.genlib = genlib;
+            const StatusOr<SubmitReply> reply = client.submit(spec);
+            if (!reply.is_ok()) break;
+            ++row.overload_submits;
+            if (!reply.value().accepted) ++row.overload_shed;
+        }
+        row.shed_rate = row.overload_submits == 0
+                            ? 0.0
+                            : static_cast<double>(row.overload_shed) / row.overload_submits;
+
+        (void)client.shutdown(/*drain=*/false);
+        stop_process(pid, 4000.0);
+
+        all_identical = all_identical && row.bit_identical;
+        all_shed = all_shed && row.overload_shed > 0;
+        std::fprintf(stderr,
+                     "serve_throughput: %u workers: %.1f jobs/s, p50 %.1fms p99 %.1fms, "
+                     "shed %u/%u (%.0f%%), bit-identical=%s\n",
+                     workers, row.jobs_per_sec, row.p50_ms, row.p99_ms, row.overload_shed,
+                     row.overload_submits, 100.0 * row.shed_rate,
+                     row.bit_identical ? "yes" : "NO");
+        results.push_back(row);
+    }
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("serve_throughput");
+    w.kv("batch_jobs", static_cast<std::uint64_t>(batch_n));
+    w.kv("queue_capacity", static_cast<std::uint64_t>(queue_cap));
+    w.kv("all_bit_identical", all_identical);
+    w.key("slots");
+    w.begin_array();
+    for (const SlotResult& row : results) {
+        w.begin_object();
+        w.kv("workers", static_cast<std::uint64_t>(row.workers));
+        w.kv("jobs_per_sec", row.jobs_per_sec);
+        w.kv("batch_ms", row.batch_ms);
+        w.kv("p50_ms", row.p50_ms);
+        w.kv("p99_ms", row.p99_ms);
+        w.kv("overload_submits", static_cast<std::uint64_t>(row.overload_submits));
+        w.kv("overload_shed", static_cast<std::uint64_t>(row.overload_shed));
+        w.kv("shed_rate", row.shed_rate);
+        w.kv("bit_identical", row.bit_identical);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    std::ofstream out(out_path, std::ios::binary);
+    out << w.str() << "\n";
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+    const std::string cleanup = "rm -rf '" + dir + "'";
+    if (std::system(cleanup.c_str()) != 0) {
+        std::fprintf(stderr, "serve_throughput: cleanup failed for %s\n", dir.c_str());
+    }
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: served outputs diverged from the in-process flow\n");
+        return 1;
+    }
+    if (!all_shed) {
+        std::fprintf(stderr, "FAIL: overload burst was never shed (admission control gap)\n");
+        return 1;
+    }
+    return 0;
+}

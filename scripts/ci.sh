@@ -142,6 +142,45 @@ run build-ci-release/bench/perf_scaling --quick \
 echo "+ BENCH_perf.json:"
 cat BENCH_perf.json
 
+# ---- Serving layer: chaos, load-shed, throughput -----------------------
+# The chaos harness floods a live daemon with a poisoned job mix (segv,
+# abort, oom, hang, wedge; sticky and retryable) and SIGKILLs the daemon
+# mid-run: the server must never die on a job, every accepted job must
+# reach a terminal verdict across the restart, and the spool must audit
+# clean. The sanitized build runs the short mix to keep CI time flat.
+run build-ci-release/tests/serve_chaos
+run build-ci-sanitize/tests/serve_chaos --quick
+
+# Load-shed smoke: a one-slot, one-deep daemon whose only worker is wedged
+# must shed a 32-submit burst (reject-with-retry-after), never queue it
+# without bound and never hang the client.
+SERVE=build-ci-release/src/serve/lily_serve
+CLIENT=build-ci-release/src/serve/lily_client
+SERVE_DIR="$(mktemp -d)"
+SOCK="$SERVE_DIR/ci.sock"
+"$SERVE" --socket="$SOCK" --spool="$SERVE_DIR/spool" --workers=1 --queue-cap=1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  "$CLIENT" --socket="$SOCK" health >/dev/null 2>&1 && break
+  sleep 0.05
+done
+out="$("$CLIENT" --socket="$SOCK" load --jobs=32 --inject=serve:hang-sticky \
+      examples/circuits/full_adder.blif lib/msu_tiny.genlib)"
+echo "+ $out"
+if grep -q "shed=0$" <<<"$out"; then
+  echo "FAIL: 32-submit burst against a wedged one-slot daemon never shed" >&2
+  exit 1
+fi
+"$CLIENT" --socket="$SOCK" shutdown || true
+wait "$SERVE_PID" || true
+rm -rf "$SERVE_DIR"
+
+# Throughput/latency/shed-rate bench; gates on served-vs-in-process bit
+# identity at 1/4/8 worker slots and a non-zero shed rate under overload.
+run build-ci-release/bench/serve_throughput --quick --out=BENCH_serve.json
+echo "+ BENCH_serve.json:"
+cat BENCH_serve.json
+
 # ---- clang-tidy (advisory; runs only when installed) -------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build-ci-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON

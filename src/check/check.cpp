@@ -34,6 +34,7 @@ const char* to_string(CheckStage stage) {
         case CheckStage::Mapped: return "mapped";
         case CheckStage::Pipeline: return "pipeline";
         case CheckStage::Verify: return "verify";
+        case CheckStage::Serve: return "serve";
     }
     return "?";
 }

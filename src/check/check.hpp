@@ -43,6 +43,7 @@ enum class CheckStage : std::uint8_t {
     Mapped,     // mapped gate netlist, timing
     Pipeline,   // cross-stage artifact versioning (ECO staleness)
     Verify,     // formal equivalence engine, netlist lint passes
+    Serve,      // serving-layer spool/journal integrity
 };
 
 const char* to_string(CheckStage stage);

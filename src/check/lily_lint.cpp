@@ -65,7 +65,9 @@
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
 #include "flow/flow.hpp"
+#include "flow/report.hpp"
 #include "map/base_mapper.hpp"
+#include "util/io.hpp"
 #include "netlist/blif.hpp"
 #include "place/netlist_adapters.hpp"
 #include "subject/decompose.hpp"
@@ -91,13 +93,15 @@ struct LintArgs {
     std::size_t eco_edits = 0;
     bool prove_mode = false;
     bool netlist_lint_mode = false;
+    bool json = false;
 };
 
 void usage(std::FILE* to) {
     std::fputs(
         "usage: lily_lint [--level=light|paranoid] [--inject=kind] "
         "[--flow[=lily|baseline|adaptive]] [--prove] [--lint-netlist] [--eco=N] "
-        "[--budget-ms=N] [--max-match-nodes=N] [--quiet] <circuit.blif> [<library.genlib>]\n"
+        "[--budget-ms=N] [--max-match-nodes=N] [--quiet] [--json] "
+        "<circuit.blif> [<library.genlib>]\n"
         "  inject kinds: cycle offchip badpad wrong-cover dup-drive\n"
         "  fault specs (imply --flow): parser:skip-gate placement:diverge "
         "matcher:no-match router:overbudget\n"
@@ -186,6 +190,11 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
             out.budget_ms = std::stod(arg.substr(12));
         } else if (arg.rfind("--max-match-nodes=", 0) == 0) {
             out.max_match_nodes = static_cast<std::size_t>(std::stoull(arg.substr(18)));
+        } else if (arg == "--json") {
+            // Machine-readable report on stdout (flow/report.hpp — the same
+            // document the serving daemon attaches to per-job verdicts).
+            out.json = true;
+            out.quiet = true;
         } else if (arg == "--quiet") {
             out.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -274,11 +283,21 @@ int run_prove_mode(const LintArgs& args) {
 int run_netlist_lint_mode(const LintArgs& args) {
     const StatusOr<Network> net = read_blif_file_checked(args.blif_path);
     if (!net.is_ok()) {
+        if (args.json) {
+            std::fputs(flow_report_json(net.status(), nullptr, nullptr).c_str(), stdout);
+            std::fputc('\n', stdout);
+            return 1;
+        }
         if (!args.quiet) std::printf("error [verify]: %s\n", net.status().to_string().c_str());
         std::printf("TOTAL      1 error(s), 0 warning(s)\n");
         return 1;
     }
     const CheckReport rep = lint_network(net.value());
+    if (args.json) {
+        std::fputs(flow_report_json(Status::ok(), nullptr, nullptr, &rep).c_str(), stdout);
+        std::fputc('\n', stdout);
+        return rep.has_errors() ? 1 : 0;
+    }
     if (!args.quiet && !rep.empty()) std::fputs(rep.to_string().c_str(), stdout);
     std::printf("TOTAL      %zu error(s), %zu warning(s)\n", rep.error_count(),
                 rep.warning_count());
@@ -296,11 +315,22 @@ int run_flow_mode(const LintArgs& args) {
     const StatusOr<FlowResult> result =
         run_flow_from_files(args.blif_path, args.genlib_path, opts, args.flow_kind);
     if (!result.is_ok()) {
+        if (args.json) {
+            std::fputs(flow_report_json(result.status(), nullptr, nullptr).c_str(), stdout);
+            std::fputc('\n', stdout);
+        }
         std::fprintf(stderr, "lily_lint: flow failed: %s\n",
                      result.status().to_string().c_str());
         return result.status().code() == StatusCode::ParseError ? 2 : 1;
     }
     const FlowResult& flow = result.value();
+    if (args.json) {
+        std::fputs(
+            flow_report_json(Status::ok(), &flow.diagnostics, &flow.metrics).c_str(),
+            stdout);
+        std::fputc('\n', stdout);
+        return 0;
+    }
     if (!args.quiet) std::fputs(flow.diagnostics.to_string().c_str(), stdout);
     std::printf("metrics: gates=%zu chip-area=%.3f wirelength=%.3f delay=%.3f\n",
                 flow.metrics.gate_count, flow.metrics.chip_area, flow.metrics.wirelength,
@@ -365,6 +395,9 @@ int run_eco_mode(const LintArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Writing a report into a closed pipe (head, a dead pager, a dropped
+    // client) must surface as a short write, not SIGPIPE death.
+    ignore_sigpipe();
     LintArgs args;
     if (!parse_args(argc, argv, args)) {
         usage(stderr);
@@ -470,6 +503,11 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    if (args.json) {
+        std::fputs(flow_report_json(Status::ok(), nullptr, nullptr, &all).c_str(), stdout);
+        std::fputc('\n', stdout);
+        return all.has_errors() ? 1 : 0;
+    }
     std::printf("TOTAL      %zu error(s), %zu warning(s)\n", all.error_count(),
                 all.warning_count());
     return all.has_errors() ? 1 : 0;

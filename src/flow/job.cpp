@@ -1,0 +1,134 @@
+#include "flow/job.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "flow/report.hpp"
+#include "library/library.hpp"
+#include "netlist/blif.hpp"
+#include "util/crash.hpp"
+
+namespace lily {
+
+const char* to_string(JobFlowKind kind) {
+    switch (kind) {
+        case JobFlowKind::Baseline: return "baseline";
+        case JobFlowKind::Lily: return "lily";
+        case JobFlowKind::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+const char* to_string(JobTier tier) {
+    return tier == JobTier::Full ? "full" : "degraded";
+}
+
+const char* to_string(JobState state) {
+    switch (state) {
+        case JobState::Queued: return "queued";
+        case JobState::Running: return "running";
+        case JobState::Ok: return "ok";
+        case JobState::Degraded: return "degraded";
+        case JobState::Error: return "error";
+    }
+    return "?";
+}
+
+namespace {
+
+JobOutcome error_outcome(const JobSpec& spec, Status status, double elapsed_ms) {
+    JobOutcome out;
+    out.state = JobState::Error;
+    out.status_code = status.code();
+    out.status_message = status.message();
+    out.tier = spec.tier;
+    out.elapsed_ms = elapsed_ms;
+    out.report_json = flow_report_json(status, nullptr, nullptr);
+    return out;
+}
+
+FlowOptions options_for(const JobSpec& spec) {
+    FlowOptions opts;
+    opts.objective = spec.options.objective;
+    opts.check = spec.options.check;
+    opts.verify = spec.options.verify;
+    opts.budget.total_ms = spec.options.budget_ms;
+    opts.threads = spec.options.threads == 0 ? 1 : spec.options.threads;
+    if (spec.tier == JobTier::Degraded) {
+        // The retry tier applies the recovery ladder's final rung up front:
+        // the wire weight rung that PR 2's adaptive schedule ends on, with
+        // the baseline fallback armed. A job whose full-effort run crashed
+        // the worker gets the cheapest viable path, not a second identical
+        // crash.
+        const RecoveryPolicy& policy = opts.recovery;
+        const double scale =
+            policy.wire_weight_scale.empty() ? 0.0 : policy.wire_weight_scale.back();
+        opts.lily.wire_weight *= scale;
+        opts.recovery.allow_baseline_fallback = true;
+        opts.recovery.allow_hpwl_metrics = true;
+    }
+    return opts;
+}
+
+}  // namespace
+
+JobOutcome run_flow_job(const JobSpec& spec) {
+    const auto t0 = StageBudget::Clock::now();
+    const auto elapsed = [&] {
+        return std::chrono::duration<double, std::milli>(StageBudget::Clock::now() - t0)
+            .count();
+    };
+
+    crash_set_stage("parse");
+    StatusOr<Network> net = read_blif_checked(spec.blif);
+    if (!net.is_ok()) {
+        return error_outcome(spec, Status(net.status()).with_context("job " + spec.name),
+                             elapsed());
+    }
+    StatusOr<Library> lib = read_genlib_checked(spec.genlib, spec.name + ".genlib");
+    if (!lib.is_ok()) {
+        return error_outcome(spec, Status(lib.status()).with_context("job " + spec.name),
+                             elapsed());
+    }
+
+    const FlowOptions opts = options_for(spec);
+    crash_set_stage("flow");
+    StatusOr<FlowResult> flow = [&]() -> StatusOr<FlowResult> {
+        try {
+            switch (spec.options.kind) {
+                case JobFlowKind::Baseline:
+                    return run_baseline_flow_checked(net.value(), lib.value(), opts);
+                case JobFlowKind::Adaptive:
+                    return run_lily_flow_adaptive_checked(net.value(), lib.value(), opts);
+                case JobFlowKind::Lily: break;
+            }
+            return run_lily_flow_checked(net.value(), lib.value(), opts);
+        } catch (const std::exception& e) {
+            // The checked entry points reserve exceptions for invariant
+            // violations (CheckLevel); a serving job folds those into the
+            // Status taxonomy rather than unwinding out of the worker.
+            return Status(StatusCode::InvariantViolation, e.what());
+        }
+    }();
+    crash_set_stage("result");
+    if (!flow.is_ok()) {
+        return error_outcome(spec, Status(flow.status()).with_context("job " + spec.name),
+                             elapsed());
+    }
+
+    const FlowResult& result = flow.value();
+    JobOutcome out;
+    out.tier = spec.tier;
+    out.metrics = result.metrics;
+    out.state = (spec.tier == JobTier::Degraded || result.diagnostics.degraded())
+                    ? JobState::Degraded
+                    : JobState::Ok;
+    out.status_code = StatusCode::Ok;
+    out.elapsed_ms = elapsed();
+    out.report_json =
+        flow_report_json(Status::ok(), &result.diagnostics, &result.metrics);
+    out.mapped_blif = write_blif(result.netlist.to_network(lib.value(), spec.name));
+    return out;
+}
+
+}  // namespace lily

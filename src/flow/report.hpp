@@ -1,0 +1,38 @@
+// The one machine-readable report format shared by every surface that
+// renders a flow outcome: lily_lint --json, the serving daemon's per-job
+// verdicts, and the bench harnesses. Keeping a single serializer here means
+// a dashboard that parses a served job's verdict parses the CLI's output
+// unchanged — same keys, same stage states, same status taxonomy.
+#pragma once
+
+#include <string>
+
+#include "check/check.hpp"
+#include "flow/diagnostics.hpp"
+#include "flow/flow.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace lily {
+
+/// Append {"severity","stage","node","message"} issue objects as a JSON
+/// array under the current writer position.
+void write_check_report(JsonWriter& w, const CheckReport& report);
+
+/// Append the per-stage diagnostics array ({"name","state","elapsed_ms",
+/// "retries","note"} per stage).
+void write_flow_diagnostics(JsonWriter& w, const FlowDiagnostics& diag);
+
+/// Append the flow metrics object.
+void write_flow_metrics(JsonWriter& w, const FlowMetrics& metrics);
+
+/// The complete report document:
+///   {"status": {"code","ok","message"},
+///    "degraded": bool,
+///    "stages": [...],          (when diag != nullptr)
+///    "metrics": {...},         (when metrics != nullptr)
+///    "check": [...]}           (when check != nullptr)
+std::string flow_report_json(const Status& status, const FlowDiagnostics* diag,
+                             const FlowMetrics* metrics, const CheckReport* check = nullptr);
+
+}  // namespace lily

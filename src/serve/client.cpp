@@ -1,0 +1,218 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace lily {
+
+namespace {
+
+// Baseline socket I/O timeout. Every reply (including a parked Wait's) is
+// bounded by the request's own timeout plus scheduling slack; anything
+// slower means the server is gone or wedged.
+constexpr double kIoTimeoutMs = 20000.0;
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+ServeClient::ServeClient(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {
+    // A server restart mid-request must surface as a Status, not SIGPIPE.
+    ignore_sigpipe();
+}
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::disconnect() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Status ServeClient::ensure_connected() {
+    if (fd_ >= 0) return Status::ok();
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socket_path_.size() >= sizeof(addr.sun_path)) {
+        return Status(StatusCode::Unsupported, "socket path too long: " + socket_path_);
+    }
+    std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status(StatusCode::Internal, std::string("socket: ") + std::strerror(errno));
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status(StatusCode::Internal,
+                      "connect " + socket_path_ + ": " + std::strerror(err));
+    }
+    set_cloexec(fd);
+    fd_ = fd;
+    apply_io_timeout(kIoTimeoutMs);
+    return Status::ok();
+}
+
+void ServeClient::apply_io_timeout(double ms) {
+    if (fd_ < 0) return;
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>((ms - 1000.0 * static_cast<double>(tv.tv_sec)) * 1000.0);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+StatusOr<Frame> ServeClient::request(MsgKind kind, std::string payload) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        LILY_RETURN_IF_ERROR(ensure_connected());
+        const Status sent = write_frame(fd_, kind, payload);
+        if (!sent.is_ok()) {
+            disconnect();
+            if (attempt == 0) continue;  // stale connection: reconnect once
+            return sent;
+        }
+        Frame reply;
+        const Status got = read_frame(fd_, reply);
+        if (got.is_ok()) return reply;
+        disconnect();
+        // A clean EOF before any reply byte means the server dropped us
+        // between requests — retry on a fresh connection. Anything after
+        // a successful write on a fresh connection is a real failure.
+        if (attempt == 0 && got.code() == StatusCode::Unsupported) continue;
+        return got;
+    }
+    return Status(StatusCode::Internal, "request retries exhausted");
+}
+
+StatusOr<SubmitReply> ServeClient::submit(const JobSpec& spec) {
+    LILY_ASSIGN_OR_RETURN(Frame reply, request(MsgKind::Submit, encode_job_spec(spec)));
+    if (reply.kind != MsgKind::SubmitReply) {
+        return Status(StatusCode::InvariantViolation, "unexpected reply kind to Submit");
+    }
+    WireReader r(reply.payload);
+    SubmitReply out;
+    if (!decode_submit_reply(r, out)) {
+        return Status(StatusCode::InvariantViolation, "malformed SubmitReply");
+    }
+    return out;
+}
+
+StatusOr<ResultReply> ServeClient::wait(std::uint64_t job_id, std::uint32_t timeout_ms) {
+    WaitRequest req;
+    req.job_id = job_id;
+    req.timeout_ms = timeout_ms;
+    // The server may park this request for up to timeout_ms before
+    // replying; stretch the socket deadline to cover that plus slack.
+    LILY_RETURN_IF_ERROR(ensure_connected());
+    apply_io_timeout(kIoTimeoutMs + timeout_ms);
+    LILY_ASSIGN_OR_RETURN(Frame reply, request(MsgKind::Wait, encode_wait_request(req)));
+    apply_io_timeout(kIoTimeoutMs);
+    if (reply.kind != MsgKind::ResultReply) {
+        return Status(StatusCode::InvariantViolation, "unexpected reply kind to Wait");
+    }
+    WireReader r(reply.payload);
+    ResultReply out;
+    if (!decode_result_reply(r, out)) {
+        return Status(StatusCode::InvariantViolation, "malformed ResultReply");
+    }
+    return out;
+}
+
+StatusOr<HealthReply> ServeClient::health() {
+    LILY_ASSIGN_OR_RETURN(Frame reply, request(MsgKind::Health, std::string()));
+    if (reply.kind != MsgKind::HealthReply) {
+        return Status(StatusCode::InvariantViolation, "unexpected reply kind to Health");
+    }
+    WireReader r(reply.payload);
+    HealthReply out;
+    if (!decode_health_reply(r, out)) {
+        return Status(StatusCode::InvariantViolation, "malformed HealthReply");
+    }
+    return out;
+}
+
+StatusOr<std::string> ServeClient::stats() {
+    LILY_ASSIGN_OR_RETURN(Frame reply, request(MsgKind::Stats, std::string()));
+    if (reply.kind != MsgKind::StatsReply) {
+        return Status(StatusCode::InvariantViolation, "unexpected reply kind to Stats");
+    }
+    WireReader r(reply.payload);
+    std::string json;
+    if (!r.str(json)) {
+        return Status(StatusCode::InvariantViolation, "malformed StatsReply");
+    }
+    return json;
+}
+
+Status ServeClient::shutdown(bool drain) {
+    ShutdownRequest req;
+    req.drain = drain;
+    LILY_ASSIGN_OR_RETURN(Frame reply, request(MsgKind::Shutdown,
+                                               encode_shutdown_request(req)));
+    if (reply.kind != MsgKind::Ack) {
+        return Status(StatusCode::InvariantViolation, "unexpected reply kind to Shutdown");
+    }
+    return Status::ok();
+}
+
+StatusOr<JobOutcome> ServeClient::map(const JobSpec& spec, std::uint32_t shed_retries,
+                                      double overall_timeout_ms) {
+    const double deadline = now_ms() + overall_timeout_ms;
+    std::uint64_t job_id = 0;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        LILY_ASSIGN_OR_RETURN(SubmitReply reply, submit(spec));
+        if (reply.accepted) {
+            job_id = reply.job_id;
+            break;
+        }
+        if (attempt >= shed_retries) {
+            return Status(StatusCode::BudgetExhausted,
+                          "submit rejected after " + std::to_string(attempt + 1) +
+                              " attempts: " + reply.message);
+        }
+        // Honor the server's load-shed hint (with a floor so a zero hint
+        // cannot busy-spin the server).
+        const std::uint32_t pause_ms = std::max<std::uint32_t>(reply.retry_after_ms, 10);
+        if (now_ms() + pause_ms > deadline) {
+            return Status(StatusCode::BudgetExhausted, "shed-retry budget exhausted");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+    }
+
+    // Wait in bounded slices so a wedged server surfaces as a timeout.
+    while (now_ms() < deadline) {
+        const double remaining = deadline - now_ms();
+        const std::uint32_t slice_ms =
+            static_cast<std::uint32_t>(std::min(remaining, 1000.0));
+        LILY_ASSIGN_OR_RETURN(ResultReply reply, wait(job_id, slice_ms));
+        if (!reply.found) {
+            return Status(StatusCode::Internal,
+                          "server no longer knows job " + std::to_string(job_id));
+        }
+        if (reply.terminal) return reply.outcome;
+    }
+    return Status(StatusCode::BudgetExhausted,
+                  "job " + std::to_string(job_id) + " not terminal within timeout");
+}
+
+}  // namespace lily

@@ -1,0 +1,58 @@
+// Client side of the lily_serve protocol: a small blocking library used by
+// the lily_client CLI, the test suite, the chaos harness, and the
+// throughput bench. One ServeClient wraps one unix-socket connection; every
+// request transparently reconnects once if the connection has gone stale
+// (the server drops connections on framing errors and restarts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/status.hpp"
+
+namespace lily {
+
+class ServeClient {
+public:
+    explicit ServeClient(std::string socket_path);
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    /// Submit a job. An accepted=false reply is NOT a transport error: it
+    /// carries the load-shed retry-after hint or a rejection message.
+    StatusOr<SubmitReply> submit(const JobSpec& spec);
+
+    /// Poll or block (server-side park, up to timeout_ms) for a job's state.
+    StatusOr<ResultReply> wait(std::uint64_t job_id, std::uint32_t timeout_ms);
+
+    StatusOr<HealthReply> health();
+
+    /// Server counters as a JSON document.
+    StatusOr<std::string> stats();
+
+    Status shutdown(bool drain);
+
+    /// Submit-with-backoff then wait-until-terminal. Honors load-shed
+    /// retry_after_ms hints up to `shed_retries` times; waits in bounded
+    /// slices so a dead server surfaces as an error, not a hang.
+    StatusOr<JobOutcome> map(const JobSpec& spec, std::uint32_t shed_retries = 10,
+                             double overall_timeout_ms = 120000.0);
+
+private:
+    Status ensure_connected();
+    /// Socket-level receive/send timeout: a dead or wedged server must
+    /// surface as a Status, never as an indefinitely blocked read.
+    void apply_io_timeout(double ms);
+    void disconnect();
+    /// Send one request frame and read its reply; reconnects and retries
+    /// once on a transport (not protocol) failure.
+    StatusOr<Frame> request(MsgKind kind, std::string payload);
+
+    std::string socket_path_;
+    int fd_ = -1;
+};
+
+}  // namespace lily

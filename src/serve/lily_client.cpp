@@ -1,0 +1,320 @@
+// lily_client: command-line client for the lily_serve daemon.
+//
+//   lily_client --socket=PATH <command> [options]
+//
+//   commands:
+//     map <circuit.blif> <library.genlib>    submit and wait for the outcome;
+//                                            prints the report JSON, writes
+//                                            the mapped BLIF with --out=FILE
+//     submit <circuit.blif> <library.genlib> submit only, print the job id
+//     wait <job-id>                          wait for a submitted job
+//     health                                 one-line daemon health summary
+//     stats                                  daemon counters as JSON
+//     shutdown [--drain]                     stop the daemon
+//     load <circuit.blif> <library.genlib> --jobs=N
+//                                            fire N submits back-to-back and
+//                                            report accepted/shed counts —
+//                                            the admission-control smoke
+//
+//   job options (map / submit / load):
+//     --flow=lily|baseline|adaptive  checked flow to run (default lily)
+//     --objective=area|delay         mapping objective (default area)
+//     --check=off|light|paranoid     in-flow checker level (default off)
+//     --verify=off|sim|prove         in-flow equivalence level (default off)
+//     --budget-ms=N                  whole-flow wall budget (default 0)
+//     --threads=N                    worker-side thread count (default 1)
+//     --inject=STAGE:KIND            fault spec installed in the worker
+//     --timeout-ms=N                 client-side wait budget (default 120000)
+//     --out=FILE                     write the mapped BLIF here (map only)
+//
+// Exit codes: 0 = job Ok/Degraded (or command succeeded), 1 = job Error,
+// shed rejection, or daemon unreachable, 2 = usage or input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "serve/client.hpp"
+#include "util/io.hpp"
+
+namespace {
+
+using namespace lily;
+
+void usage(std::FILE* to) {
+    std::fputs(
+        "usage: lily_client --socket=PATH <command> [options]\n"
+        "  commands: map submit wait health stats shutdown load\n"
+        "  job options: --flow=K --objective=K --check=K --verify=K --budget-ms=N\n"
+        "               --threads=N --inject=SPEC --timeout-ms=N --out=FILE --jobs=N\n",
+        to);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+struct ClientArgs {
+    std::string socket_path;
+    std::string command;
+    std::vector<std::string> positional;
+    JobFlowOptions options;
+    std::string fault_spec;
+    std::string out_path;
+    std::uint32_t timeout_ms = 120000;
+    std::uint32_t jobs = 1;
+    bool drain = false;
+};
+
+bool parse_args(int argc, char** argv, ClientArgs& out) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0) {
+            out.socket_path = arg.substr(9);
+        } else if (arg.rfind("--flow=", 0) == 0) {
+            const std::string kind = arg.substr(7);
+            if (kind == "lily") {
+                out.options.kind = JobFlowKind::Lily;
+            } else if (kind == "baseline") {
+                out.options.kind = JobFlowKind::Baseline;
+            } else if (kind == "adaptive") {
+                out.options.kind = JobFlowKind::Adaptive;
+            } else {
+                std::fprintf(stderr, "lily_client: unknown flow kind '%s'\n", kind.c_str());
+                return false;
+            }
+        } else if (arg.rfind("--objective=", 0) == 0) {
+            const std::string obj = arg.substr(12);
+            if (obj == "area") {
+                out.options.objective = MapObjective::Area;
+            } else if (obj == "delay") {
+                out.options.objective = MapObjective::Delay;
+            } else {
+                std::fprintf(stderr, "lily_client: unknown objective '%s'\n", obj.c_str());
+                return false;
+            }
+        } else if (arg.rfind("--check=", 0) == 0) {
+            out.options.check = parse_check_level(arg.substr(8), CheckLevel::Off);
+        } else if (arg.rfind("--verify=", 0) == 0) {
+            const std::string level = arg.substr(9);
+            if (level == "off") {
+                out.options.verify = VerifyLevel::Off;
+            } else if (level == "sim") {
+                out.options.verify = VerifyLevel::Sim;
+            } else if (level == "prove") {
+                out.options.verify = VerifyLevel::Prove;
+            } else {
+                std::fprintf(stderr, "lily_client: unknown verify level '%s'\n", level.c_str());
+                return false;
+            }
+        } else if (arg.rfind("--budget-ms=", 0) == 0) {
+            out.options.budget_ms = std::atof(arg.c_str() + 12);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            out.options.threads = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 10));
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            out.fault_spec = arg.substr(9);
+        } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+            out.timeout_ms = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 13));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out.out_path = arg.substr(6);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            out.jobs = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 7));
+        } else if (arg == "--drain") {
+            out.drain = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "lily_client: unknown option '%s'\n", arg.c_str());
+            return false;
+        } else if (out.command.empty()) {
+            out.command = arg;
+        } else {
+            out.positional.push_back(arg);
+        }
+    }
+    return !out.command.empty() && !out.socket_path.empty();
+}
+
+bool build_spec(const ClientArgs& args, JobSpec& spec) {
+    if (args.positional.size() != 2) {
+        std::fprintf(stderr, "lily_client: %s needs <circuit.blif> <library.genlib>\n",
+                     args.command.c_str());
+        return false;
+    }
+    if (!read_file(args.positional[0], spec.blif)) {
+        std::fprintf(stderr, "lily_client: cannot read %s\n", args.positional[0].c_str());
+        return false;
+    }
+    if (!read_file(args.positional[1], spec.genlib)) {
+        std::fprintf(stderr, "lily_client: cannot read %s\n", args.positional[1].c_str());
+        return false;
+    }
+    spec.name = args.positional[0];
+    spec.options = args.options;
+    spec.fault_spec = args.fault_spec;
+    return true;
+}
+
+int print_outcome(const JobOutcome& outcome, const std::string& out_path) {
+    std::fputs(outcome.report_json.empty() ? "{}" : outcome.report_json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fprintf(stderr, "lily_client: job %s (%s, tier %s, %u retries)\n",
+                 to_string(outcome.state), to_string(outcome.status_code),
+                 to_string(outcome.tier), outcome.retries);
+    if (!outcome.crash_info.empty()) {
+        std::fprintf(stderr, "lily_client: crash info: %s\n", outcome.crash_info.c_str());
+    }
+    if (!out_path.empty() && !outcome.mapped_blif.empty()) {
+        std::ofstream out(out_path, std::ios::binary);
+        out << outcome.mapped_blif;
+        if (!out) {
+            std::fprintf(stderr, "lily_client: cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+    }
+    return outcome.state == JobState::Error ? 1 : 0;
+}
+
+int cmd_map(ServeClient& client, const ClientArgs& args) {
+    JobSpec spec;
+    if (!build_spec(args, spec)) return 2;
+    const StatusOr<JobOutcome> outcome =
+        client.map(spec, /*shed_retries=*/10, static_cast<double>(args.timeout_ms));
+    if (!outcome.is_ok()) {
+        std::fprintf(stderr, "lily_client: %s\n", outcome.status().to_string().c_str());
+        return 1;
+    }
+    return print_outcome(outcome.value(), args.out_path);
+}
+
+int cmd_submit(ServeClient& client, const ClientArgs& args) {
+    JobSpec spec;
+    if (!build_spec(args, spec)) return 2;
+    const StatusOr<SubmitReply> reply = client.submit(spec);
+    if (!reply.is_ok()) {
+        std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
+        return 1;
+    }
+    if (!reply.value().accepted) {
+        std::fprintf(stderr, "lily_client: rejected: %s (retry after %ums)\n",
+                     reply.value().message.c_str(), reply.value().retry_after_ms);
+        return 1;
+    }
+    std::printf("%llu\n", static_cast<unsigned long long>(reply.value().job_id));
+    return 0;
+}
+
+int cmd_wait(ServeClient& client, const ClientArgs& args) {
+    if (args.positional.size() != 1) {
+        std::fprintf(stderr, "lily_client: wait needs <job-id>\n");
+        return 2;
+    }
+    const std::uint64_t job_id = std::strtoull(args.positional[0].c_str(), nullptr, 10);
+    const StatusOr<ResultReply> reply = client.wait(job_id, args.timeout_ms);
+    if (!reply.is_ok()) {
+        std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
+        return 1;
+    }
+    const ResultReply& result = reply.value();
+    if (!result.found) {
+        std::fprintf(stderr, "lily_client: unknown job %llu\n",
+                     static_cast<unsigned long long>(job_id));
+        return 1;
+    }
+    if (!result.terminal) {
+        std::fprintf(stderr, "lily_client: job still %s\n", to_string(result.state));
+        return 1;
+    }
+    return print_outcome(result.outcome, args.out_path);
+}
+
+int cmd_health(ServeClient& client) {
+    const StatusOr<HealthReply> reply = client.health();
+    if (!reply.is_ok()) {
+        std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
+        return 1;
+    }
+    const HealthReply& h = reply.value();
+    std::printf(
+        "health: %s uptime=%llums workers=%u/%u queue=%u/%u max-heartbeat-age=%llums\n",
+        h.ok ? "ok" : "shutting-down", static_cast<unsigned long long>(h.uptime_ms),
+        h.workers_busy, h.workers_total, h.queue_depth, h.queue_capacity,
+        static_cast<unsigned long long>(h.max_heartbeat_age_ms));
+    return h.ok ? 0 : 1;
+}
+
+int cmd_stats(ServeClient& client) {
+    const StatusOr<std::string> reply = client.stats();
+    if (!reply.is_ok()) {
+        std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
+        return 1;
+    }
+    std::fputs(reply.value().c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+}
+
+/// Admission-control smoke: fire N submits back-to-back (no waiting in
+/// between) and count accepted vs shed. Under deliberate overload the
+/// daemon must reject, not hang — a zero shed count with jobs >> queue
+/// capacity means admission control is broken.
+int cmd_load(ServeClient& client, const ClientArgs& args) {
+    JobSpec spec;
+    if (!build_spec(args, spec)) return 2;
+    std::uint32_t accepted = 0;
+    std::uint32_t shed = 0;
+    for (std::uint32_t i = 0; i < args.jobs; ++i) {
+        const StatusOr<SubmitReply> reply = client.submit(spec);
+        if (!reply.is_ok()) {
+            std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
+            return 1;
+        }
+        if (reply.value().accepted) {
+            ++accepted;
+        } else {
+            ++shed;
+        }
+    }
+    std::printf("load: jobs=%u accepted=%u shed=%u\n", args.jobs, accepted, shed);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // A daemon restart mid-transfer must fail a request, not kill the CLI.
+    ignore_sigpipe();
+    ClientArgs args;
+    if (!parse_args(argc, argv, args)) {
+        usage(stderr);
+        return 2;
+    }
+    ServeClient client(args.socket_path);
+    if (args.command == "map") return cmd_map(client, args);
+    if (args.command == "submit") return cmd_submit(client, args);
+    if (args.command == "wait") return cmd_wait(client, args);
+    if (args.command == "health") return cmd_health(client);
+    if (args.command == "stats") return cmd_stats(client);
+    if (args.command == "load") return cmd_load(client, args);
+    if (args.command == "shutdown") {
+        const Status stopped = client.shutdown(args.drain);
+        if (!stopped.is_ok()) {
+            std::fprintf(stderr, "lily_client: %s\n", stopped.to_string().c_str());
+            return 1;
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "lily_client: unknown command '%s'\n", args.command.c_str());
+    usage(stderr);
+    return 2;
+}

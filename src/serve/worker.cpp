@@ -1,0 +1,295 @@
+#include "serve/worker.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "util/crash.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+#include "util/text.hpp"
+
+namespace lily {
+
+namespace {
+
+constexpr char kHeartbeatByte = 0x01;
+constexpr double kHeartbeatIntervalMs = 50.0;
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Child-side isolation, run immediately after fork. Two duties:
+///  * Die with the supervisor: an orphaned worker must never outlive a
+///    SIGKILLed daemon (it would keep spinning, and worse, keep the
+///    daemon's inherited listening socket alive so restarted daemons'
+///    clients connect into a dead backlog and hang).
+///  * Drop every inherited descriptor except stdio and our two pipes — the
+///    worker must not hold the listener or any client connection open.
+void isolate_child(pid_t parent, int keep_a, int keep_b) {
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // The parent may have died between fork and prctl; the death signal
+    // only fires for deaths after it is armed.
+    if (::getppid() != parent) ::_exit(1);
+    DIR* d = ::opendir("/proc/self/fd");
+    if (d == nullptr) return;
+    std::vector<int> doomed;
+    while (const dirent* ent = ::readdir(d)) {
+        if (ent->d_name[0] == '.') continue;
+        const int fd = std::atoi(ent->d_name);
+        if (fd > 2 && fd != keep_a && fd != keep_b && fd != ::dirfd(d)) {
+            doomed.push_back(fd);
+        }
+    }
+    ::closedir(d);
+    for (const int fd : doomed) ::close(fd);
+}
+
+/// True when the serve-stage fault `kind` should fire for this job: plain
+/// kinds only at full effort, "-sticky" kinds at every tier.
+bool serve_fault(const JobSpec& spec, const char* kind) {
+    if (fault_enabled("serve", std::string(kind) + "-sticky")) return true;
+    return spec.tier == JobTier::Full && fault_enabled("serve", kind);
+}
+
+}  // namespace
+
+const char* to_string(WorkerEnd end) {
+    switch (end) {
+        case WorkerEnd::Completed: return "completed";
+        case WorkerEnd::Crashed: return "crashed";
+        case WorkerEnd::WallKilled: return "wall-killed";
+        case WorkerEnd::RssKilled: return "rss-killed";
+        case WorkerEnd::HeartbeatKilled: return "heartbeat-killed";
+    }
+    return "?";
+}
+
+// ---- Child side -----------------------------------------------------------
+
+void worker_child_main(const JobSpec& spec, int result_fd, int control_fd) {
+    // The crash reporter writes to the control pipe, where the supervisor
+    // reads heartbeats; a crash line and heartbeat bytes interleave safely
+    // because the parent parses them bytewise.
+    set_fault_spec(spec.fault_spec);
+    install_crash_reporter(control_fd, spec.fault_spec);
+    crash_set_stage("sandbox");
+
+    // Injected failure modes, before any real work. `wedge` must precede
+    // the heartbeat thread: its whole point is supervisor-visible silence.
+    if (serve_fault(spec, "segv")) {
+        // A real null store would be intercepted by UBSan before the fault;
+        // raising the signal exercises the identical reporter/kill path in
+        // every build flavor.
+        ::raise(SIGSEGV);  // crash reporter -> _exit(kCrashExitCode)
+    }
+    if (serve_fault(spec, "abort")) std::abort();
+    if (serve_fault(spec, "wedge")) {
+        for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    std::atomic<bool> job_done{false};
+    std::thread heartbeat([control_fd, &job_done] {
+        while (!job_done.load(std::memory_order_relaxed)) {
+            const char beat = kHeartbeatByte;
+            if (::write(control_fd, &beat, 1) < 0 && errno != EINTR && errno != EAGAIN) break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(static_cast<int>(kHeartbeatIntervalMs)));
+        }
+    });
+
+    if (serve_fault(spec, "hang")) {
+        // Beating but never finishing: the wall-clock ceiling must fire.
+        for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (serve_fault(spec, "oom")) {
+        // Allocate and touch until the supervisor's RSS ceiling kills us.
+        // Bounded as a backstop so a supervisor bug cannot OOM the host.
+        crash_set_stage("oom-fault");
+        std::vector<char*> blocks;
+        constexpr std::size_t kBlock = 8u << 20;
+        for (std::size_t total = 0; total < (4ull << 30); total += kBlock) {
+            char* block = static_cast<char*>(::malloc(kBlock));
+            if (block == nullptr) break;
+            std::memset(block, 0x5A, kBlock);
+            blocks.push_back(block);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        std::abort();  // unreachable under a working supervisor
+    }
+
+    JobOutcome outcome = run_flow_job(spec);
+    job_done.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+
+    const Status sent =
+        write_frame(result_fd, MsgKind::WorkerResult, encode_job_outcome(outcome));
+    // _exit, not exit: the child shares the daemon's global state and must
+    // not run its atexit hooks or flush its inherited streams.
+    ::_exit(sent.is_ok() ? 0 : 3);
+}
+
+// ---- Parent side ----------------------------------------------------------
+
+WorkerProcess::~WorkerProcess() {
+    if (running()) {
+        ::kill(pid_, SIGKILL);
+        wait_exit(pid_);
+    }
+}
+
+Status WorkerProcess::start(const JobSpec& spec, const WorkerLimits& limits) {
+    limits_ = limits;
+    LILY_RETURN_IF_ERROR(result_pipe_.open());
+    LILY_RETURN_IF_ERROR(control_pipe_.open());
+
+    const pid_t parent = ::getpid();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        return Status(StatusCode::Internal, std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+        result_pipe_.close_read();
+        control_pipe_.close_read();
+        isolate_child(parent, result_pipe_.write_fd, control_pipe_.write_fd);
+        worker_child_main(spec, result_pipe_.write_fd, control_pipe_.write_fd);
+    }
+    pid_ = pid;
+    result_pipe_.close_write();
+    control_pipe_.close_write();
+    set_nonblocking(result_pipe_.read_fd);
+    set_nonblocking(control_pipe_.read_fd);
+    start_ms_ = now_ms();
+    last_beat_ms_ = start_ms_;
+    return Status::ok();
+}
+
+double WorkerProcess::heartbeat_age_ms() const {
+    if (!running()) return 0.0;
+    return now_ms() - last_beat_ms_;
+}
+
+void WorkerProcess::kill_now(WorkerEnd reason, const std::string& why) {
+    if (kill_sent_ || pid_ <= 0) return;
+    kill_sent_ = true;
+    kill_reason_ = reason;
+    kill_why_ = why;
+    ::kill(pid_, SIGKILL);
+}
+
+void WorkerProcess::drain_pipes() {
+    bool eof = false;
+    read_available(result_pipe_.read_fd, result_buffer_, &eof);
+    std::string control;
+    read_available(control_pipe_.read_fd, control, &eof);
+    for (const char c : control) {
+        if (c == kHeartbeatByte) {
+            ++heartbeats_;
+            last_beat_ms_ = now_ms();
+        } else {
+            crash_text_.push_back(c);
+        }
+    }
+}
+
+bool WorkerProcess::poll() {
+    if (done_ || pid_ <= 0) return done_;
+    drain_pipes();
+
+    const double elapsed = now_ms() - start_ms_;
+    if (!kill_sent_) {
+        if (limits_.wall_ms > 0.0 && elapsed > limits_.wall_ms) {
+            kill_now(WorkerEnd::WallKilled, "wall-clock ceiling (" +
+                                                format_fixed(limits_.wall_ms, 0) +
+                                                "ms) breached");
+        } else if (limits_.heartbeat_timeout_ms > 0.0 &&
+                   now_ms() - last_beat_ms_ > limits_.heartbeat_timeout_ms) {
+            kill_now(WorkerEnd::HeartbeatKilled,
+                     "no heartbeat for " + format_fixed(now_ms() - last_beat_ms_, 0) + "ms");
+        } else if (limits_.rss_bytes > 0) {
+            const std::size_t rss = process_rss_bytes(pid_);
+            if (rss > peak_rss_) peak_rss_ = rss;
+            if (rss > limits_.rss_bytes) {
+                kill_now(WorkerEnd::RssKilled,
+                         "resident set " + std::to_string(rss / (1u << 20)) +
+                             "MB over ceiling " +
+                             std::to_string(limits_.rss_bytes / (1u << 20)) + "MB");
+            }
+        }
+    }
+
+    const ExitStatus exit_status = try_wait(pid_);
+    if (exit_status.running()) return false;
+    drain_pipes();  // collect anything written between the last drain and exit
+    finalize(exit_status);
+    return true;
+}
+
+void WorkerProcess::finalize(const ExitStatus& exit_status) {
+    done_ = true;
+    result_.elapsed_ms = now_ms() - start_ms_;
+    result_.peak_rss_bytes = peak_rss_;
+    result_.heartbeats = heartbeats_;
+
+    if (kill_sent_) {
+        result_.end = kill_reason_;
+        result_.crash_info = kill_why_;
+        if (!crash_text_.empty()) result_.crash_info += "; " + crash_text_;
+        return;
+    }
+    if (exit_status.kind == ExitKind::Exited && exit_status.code == 0) {
+        Frame frame;
+        bool bad = false;
+        if (try_extract_frame(result_buffer_, frame, &bad) &&
+            frame.kind == MsgKind::WorkerResult) {
+            WireReader r(frame.payload);
+            JobOutcome outcome;
+            if (decode_job_outcome(r, outcome)) {
+                result_.end = WorkerEnd::Completed;
+                result_.outcome = std::move(outcome);
+                return;
+            }
+        }
+        result_.end = WorkerEnd::Crashed;
+        result_.crash_info = "worker exited 0 without a valid result frame";
+        return;
+    }
+    result_.end = WorkerEnd::Crashed;
+    result_.crash_info = "worker " + exit_status.to_string();
+    if (!crash_text_.empty()) {
+        // The crash reporter's line: "CRASH sig=N stage=... fault=...".
+        std::string line = crash_text_;
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+        result_.crash_info += "; " + line;
+    }
+}
+
+WorkerResult run_job_sandboxed(const JobSpec& spec, const WorkerLimits& limits) {
+    WorkerProcess worker;
+    const Status started = worker.start(spec, limits);
+    if (!started.is_ok()) {
+        WorkerResult failed;
+        failed.end = WorkerEnd::Crashed;
+        failed.crash_info = started.to_string();
+        return failed;
+    }
+    while (!worker.poll()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return worker.take_result();
+}
+
+}  // namespace lily

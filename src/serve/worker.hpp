@@ -1,0 +1,125 @@
+// Process-sandboxed job execution: the robustness boundary of lily_serve.
+//
+// Each job runs in a forked worker. The child installs the signal-safe
+// crash reporter, applies the job's fault spec, starts a heartbeat thread,
+// executes run_flow_job, writes the JobOutcome back as one CRC-framed
+// message on its result pipe, and _exits. The parent — the daemon's
+// single-threaded supervisor loop — polls the worker: it drains heartbeats
+// and crash lines from the control pipe, samples the child's RSS from
+// /proc, and SIGKILLs on any ceiling breach (wall clock, resident set,
+// heartbeat silence). A worker segfault, abort, OOM, or wedge therefore
+// becomes a classified per-job verdict; the serving process never dies.
+//
+// Fault kinds probed in the child before the flow starts (stage "serve"):
+//   segv / abort   crash immediately (crash reporter writes the report)
+//   oom            allocate-and-touch until the RSS ceiling kills it
+//   hang           spin (with heartbeats) until the wall ceiling kills it
+//   wedge          go silent (no heartbeats) so the watchdog kills it
+// Plain kinds fire only at JobTier::Full — the degraded retry survives
+// them, modeling a pathological input that the cheap path can absorb.
+// "-sticky" variants (e.g. "segv-sticky") fire at every tier and drive the
+// job to a terminal error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+#include "flow/job.hpp"
+#include "util/subprocess.hpp"
+
+namespace lily {
+
+/// Ceilings the supervisor enforces on one worker. Zero disables that
+/// dimension (tests and bring-up only; the daemon always sets all three).
+struct WorkerLimits {
+    double wall_ms = 30000.0;          // SIGKILL after this much wall clock
+    std::size_t rss_bytes = 1u << 30;  // SIGKILL when resident set exceeds
+    double heartbeat_timeout_ms = 2000.0;  // SIGKILL after this much silence
+};
+
+/// Why a worker stopped.
+enum class WorkerEnd : std::uint8_t {
+    Completed,     // result frame received, exit 0
+    Crashed,       // crash-reporter exit, raw fatal signal, or garbage exit
+    WallKilled,    // supervisor SIGKILL: wall-clock ceiling
+    RssKilled,     // supervisor SIGKILL: resident-set ceiling
+    HeartbeatKilled,  // supervisor SIGKILL: heartbeat silence
+};
+
+const char* to_string(WorkerEnd end);
+
+struct WorkerResult {
+    WorkerEnd end = WorkerEnd::Crashed;
+    JobOutcome outcome;      // valid when end == Completed
+    std::string crash_info;  // crash-reporter line / kill reason / exit status
+    double elapsed_ms = 0.0;
+    std::size_t peak_rss_bytes = 0;
+    std::uint64_t heartbeats = 0;
+};
+
+/// A forked worker being supervised. Non-blocking: the owner calls poll()
+/// from its event loop until done() and then takes the result. The fds are
+/// O_NONBLOCK in the parent and safe to multiplex.
+class WorkerProcess {
+public:
+    WorkerProcess() = default;
+    WorkerProcess(const WorkerProcess&) = delete;
+    WorkerProcess& operator=(const WorkerProcess&) = delete;
+    ~WorkerProcess();
+
+    /// Fork the worker. The caller must be effectively single-threaded at
+    /// fork time (the daemon's supervisor loop is); the child never returns.
+    Status start(const JobSpec& spec, const WorkerLimits& limits);
+
+    /// Drive supervision one step: drain pipes, sample RSS, enforce
+    /// ceilings, reap. Returns true when the worker reached a terminal
+    /// state (then `result()` is valid). Cheap; call every loop tick.
+    bool poll();
+
+    bool running() const { return pid_ > 0 && !done_; }
+    bool done() const { return done_; }
+    pid_t pid() const { return pid_; }
+    int result_fd() const { return result_pipe_.read_fd; }
+    int control_fd() const { return control_pipe_.read_fd; }
+    /// Milliseconds since the last heartbeat (or start) — health reporting.
+    double heartbeat_age_ms() const;
+    const WorkerResult& result() const { return result_; }
+    WorkerResult take_result() { return std::move(result_); }
+
+    /// SIGKILL the worker (idempotent). poll() still must run to reap.
+    void kill_now(WorkerEnd reason, const std::string& why);
+
+private:
+    void finalize(const ExitStatus& exit_status);
+    void drain_pipes();
+
+    pid_t pid_ = -1;
+    Pipe result_pipe_;   // child -> parent: one WorkerResult frame
+    Pipe control_pipe_;  // child -> parent: heartbeat bytes + crash line
+    WorkerLimits limits_;
+    std::string result_buffer_;
+    std::string control_buffer_;
+    std::string crash_text_;
+    std::uint64_t heartbeats_ = 0;
+    double start_ms_ = 0.0;       // steady-clock epoch, ms
+    double last_beat_ms_ = 0.0;
+    std::size_t peak_rss_ = 0;
+    bool kill_sent_ = false;
+    WorkerEnd kill_reason_ = WorkerEnd::Crashed;
+    std::string kill_why_;
+    bool done_ = false;
+    WorkerResult result_;
+};
+
+/// Blocking convenience used by tests: start + poll until done.
+WorkerResult run_job_sandboxed(const JobSpec& spec, const WorkerLimits& limits);
+
+/// The child-side body (exposed for the daemon binary): apply sandbox
+/// setup, probe serve faults, run the job, write the result frame to
+/// `result_fd`, heartbeat on `control_fd`. Never returns.
+[[noreturn]] void worker_child_main(const JobSpec& spec, int result_fd, int control_fd);
+
+}  // namespace lily

@@ -19,7 +19,13 @@ namespace lily {
 
 class StageBudget {
 public:
+    // Deadlines MUST come from a monotonic clock: a wall-clock step (NTP
+    // slew, suspend/resume) must neither spuriously expire a job budget nor
+    // extend it. Every flow-stage timer derives from this alias, and the
+    // static_assert keeps a future edit from silently switching to
+    // system_clock.
     using Clock = std::chrono::steady_clock;
+    static_assert(Clock::is_steady, "StageBudget deadlines require a monotonic clock");
 
     /// Unlimited budget (never exhausts).
     StageBudget() = default;

@@ -1,0 +1,88 @@
+#include "util/crash.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace lily {
+
+namespace {
+
+std::atomic<int> g_report_fd{-1};
+std::atomic<const char*> g_stage{"unknown"};
+
+// Snapshot of the fault spec, filled by install_crash_reporter. Fixed size:
+// the handler may only read it, never allocate.
+char g_fault_buf[128] = "none";
+
+/// Append `s` to `buf` at `pos` (bounded); returns the new position.
+std::size_t append(char* buf, std::size_t pos, std::size_t cap, const char* s) {
+    while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+    return pos;
+}
+
+std::size_t append_int(char* buf, std::size_t pos, std::size_t cap, int v) {
+    char digits[16];
+    std::size_t n = 0;
+    if (v < 0) {
+        pos = append(buf, pos, cap, "-");
+        v = -v;
+    }
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0 && n < sizeof(digits));
+    while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+    return pos;
+}
+
+extern "C" void crash_handler(int sig) {
+    const int fd = g_report_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char line[256];
+        std::size_t pos = 0;
+        pos = append(line, pos, sizeof(line), "CRASH sig=");
+        pos = append_int(line, pos, sizeof(line), sig);
+        pos = append(line, pos, sizeof(line), " stage=");
+        pos = append(line, pos, sizeof(line), g_stage.load(std::memory_order_relaxed));
+        pos = append(line, pos, sizeof(line), " fault=");
+        pos = append(line, pos, sizeof(line), g_fault_buf);
+        pos = append(line, pos, sizeof(line), "\n");
+        ssize_t ignored = ::write(fd, line, pos);
+        (void)ignored;
+    }
+    ::_exit(kCrashExitCode);
+}
+
+}  // namespace
+
+void install_crash_reporter(int report_fd, std::string_view fault_spec) {
+    g_report_fd.store(report_fd, std::memory_order_relaxed);
+    const std::size_t n = fault_spec.empty()
+                              ? 0
+                              : std::min(fault_spec.size(), sizeof(g_fault_buf) - 1);
+    if (n == 0) {
+        std::strcpy(g_fault_buf, "none");
+    } else {
+        std::memcpy(g_fault_buf, fault_spec.data(), n);
+        g_fault_buf[n] = '\0';
+    }
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: a second fault inside the handler just loops into
+    // _exit. No SA_ONSTACK: stage/fault formatting needs trivial stack.
+    for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+        sigaction(sig, &sa, nullptr);
+    }
+}
+
+void crash_set_stage(const char* stage) {
+    g_stage.store(stage, std::memory_order_relaxed);
+}
+
+}  // namespace lily

@@ -1,0 +1,35 @@
+// Async-signal-safe crash reporting for sandboxed flow workers.
+//
+// A worker process that segfaults, aborts, or hits a fatal bus/FP error
+// must still tell its supervisor *where* it died: which pipeline stage was
+// active and which fault spec (if any) was injected. The handler installed
+// here does the only things legal inside a fatal-signal context — format
+// into a fixed buffer with no allocation and write(2) to a pre-registered
+// fd — then _exit(kCrashExitCode) so the parent sees a deterministic exit
+// instead of re-raised-signal races. Installing it deliberately replaces
+// any sanitizer's own fatal-signal handler so crash classification is
+// identical in sanitized and plain builds.
+#pragma once
+
+#include <string_view>
+
+namespace lily {
+
+/// The exit code the crash handler dies with (chosen clear of shell and
+/// sanitizer conventions). A worker exiting with this code crashed after
+/// writing a "CRASH sig=N stage=... fault=..." line to the report fd.
+inline constexpr int kCrashExitCode = 97;
+
+/// Install handlers for SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL that write a
+/// one-line crash report to `report_fd` and _exit(kCrashExitCode). The
+/// active fault spec is snapshotted into a static buffer *now* (the
+/// handler cannot call fault_spec(), which locks); re-install after
+/// changing the spec if the report should reflect it.
+void install_crash_reporter(int report_fd, std::string_view fault_spec);
+
+/// Record the pipeline stage the process is currently executing, for crash
+/// attribution. `stage` must be a string literal or otherwise outlive any
+/// crash (the handler reads the pointer asynchronously).
+void crash_set_stage(const char* stage);
+
+}  // namespace lily

@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for integrity-stamping the
+// serving layer's wire frames and spool journal records. Header-only so the
+// signal-safe crash path and the hot framing path can both inline it; the
+// table is computed at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lily {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental form: feed `crc32_update(seed, ...)` chunks, starting from
+/// crc32_init() and finishing with crc32_final().
+constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+constexpr std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        state = detail::kCrc32Table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+    }
+    return state;
+}
+
+constexpr std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a byte string.
+inline std::uint32_t crc32(std::string_view data) {
+    return crc32_final(crc32_update(crc32_init(), data.data(), data.size()));
+}
+
+}  // namespace lily

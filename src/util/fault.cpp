@@ -1,6 +1,7 @@
 #include "util/fault.hpp"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "util/text.hpp"
 
@@ -8,23 +9,34 @@ namespace lily {
 
 namespace {
 
-std::string& override_spec() {
-    static std::string spec;
-    return spec;
+// Guards the override state. Never held while parsing or while calling out,
+// so a probe is: lock, copy the small spec string, unlock, parse the copy.
+std::mutex& registry_mutex() {
+    static std::mutex m;
+    return m;
 }
 
-bool& override_active() {
-    static bool active = false;
-    return active;
+struct Override {
+    std::string spec;
+    bool active = false;
+};
+
+Override& override_state() {
+    static Override o;
+    return o;
 }
 
 std::string active_spec() {
-    if (override_active()) return override_spec();
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex());
+        const Override& o = override_state();
+        if (o.active) return o.spec;
+    }
     const char* env = std::getenv("LILY_FAULT");
     return env == nullptr ? std::string() : std::string(env);
 }
 
-/// Visit each "stage:kind" entry; kind is empty when omitted.
+/// Visit each "stage:kind" entry of a snapshot; kind is empty when omitted.
 template <typename Fn>
 bool any_entry(Fn&& match) {
     const std::string spec = active_spec();
@@ -52,9 +64,10 @@ bool fault_enabled(std::string_view stage, std::string_view kind) {
 }
 
 void set_fault_spec(std::string spec) {
-    override_active() = true;
-    override_spec() = std::move(spec);
-    if (override_spec().empty()) override_active() = false;
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    Override& o = override_state();
+    o.active = !spec.empty();
+    o.spec = std::move(spec);
 }
 
 std::string fault_spec() { return active_spec(); }

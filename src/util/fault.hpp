@@ -2,7 +2,8 @@
 //
 // A fault spec is "stage:kind[,stage:kind...]" and comes from either the
 // LILY_FAULT environment variable or set_fault_spec() (tests, lily_lint's
-// --inject). Stages probed by the pipeline:
+// --inject, the serving daemon's per-job fault field). Stages probed by the
+// pipeline:
 //
 //   parser:skip-gate      genlib reader treats the widest gate as over-fanin
 //                         (skipped with a diagnostic; library still loads)
@@ -19,9 +20,27 @@
 //                         replayable counterexample
 //   eco:stale-epoch       run_eco_flow_checked sees a mapping stamped with
 //                         an older network version and must reject it
+//   serve:*               probed only inside forked lily_serve workers,
+//                         before the job's flow starts (see serve/worker.hpp):
+//                         segv / abort crash the worker, oom allocates until
+//                         the supervisor's RSS ceiling kills it, hang spins
+//                         past the wall-clock ceiling, wedge goes silent so
+//                         the heartbeat watchdog fires. Plain kinds fire only
+//                         at the full effort tier (the degraded retry
+//                         survives them); "-sticky" variants fire at every
+//                         tier and drive the job to a terminal error.
 //
 // Injection is read-only configuration: with no spec set, every probe is
 // false and the pipeline is byte-for-byte the unfaulted one.
+//
+// Thread and fork safety: the registry is a mutex-guarded process-global.
+// Probes take a snapshot of the spec under the lock and parse the snapshot,
+// so pool threads polling fault_enabled() concurrently with a set_fault_spec
+// see either the old spec or the new one, never a torn string. A forked
+// child inherits the parent's spec by value (plain memory, no locks held
+// across fork as long as the forking thread is not itself inside the
+// registry — the serving daemon forks from its single-threaded supervisor
+// loop).
 #pragma once
 
 #include <string>
@@ -35,11 +54,11 @@ bool fault_enabled(std::string_view stage);
 /// True when the active spec lists exactly `stage:kind`.
 bool fault_enabled(std::string_view stage, std::string_view kind);
 
-/// Override the spec ("" clears, reverting to LILY_FAULT). Not thread-safe;
-/// intended for test setup and tool flag parsing.
+/// Override the spec ("" clears, reverting to LILY_FAULT). Thread-safe;
+/// concurrent probes see the old or new spec atomically.
 void set_fault_spec(std::string spec);
 
-/// The active spec text (after env/override resolution).
+/// Snapshot of the active spec text (after env/override resolution).
 std::string fault_spec();
 
 }  // namespace lily

@@ -1,0 +1,101 @@
+#include "util/io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace lily {
+
+namespace {
+
+Status errno_status(const char* what) {
+    return Status(StatusCode::Internal, std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGPIPE, &sa, nullptr);
+}
+
+Status read_full(int fd, void* buf, std::size_t len) {
+    auto* p = static_cast<unsigned char*>(buf);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::read(fd, p + done, len - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (done == 0) return Status(StatusCode::Unsupported, "eof");
+            return Status(StatusCode::Internal,
+                          "read_full: peer closed after " + std::to_string(done) + "/" +
+                              std::to_string(len) + " bytes");
+        }
+        if (errno == EINTR) continue;
+        return errno_status("read_full");
+    }
+    return Status::ok();
+}
+
+Status write_full(int fd, const void* buf, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(buf);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, p + done, len - done);
+        if (n >= 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EPIPE) return Status(StatusCode::Internal, "write_full: EPIPE (peer gone)");
+        return errno_status("write_full");
+    }
+    return Status::ok();
+}
+
+std::size_t read_available(int fd, std::string& out, bool* eof) {
+    if (eof != nullptr) *eof = false;
+    std::size_t total = 0;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            out.append(chunk, static_cast<std::size_t>(n));
+            total += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (eof != nullptr) *eof = true;
+            return total;
+        }
+        if (errno == EINTR) continue;
+        // EAGAIN/EWOULDBLOCK: drained everything currently available.
+        return total;
+    }
+}
+
+Status set_nonblocking(int fd, bool nonblocking) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return errno_status("fcntl(F_GETFL)");
+    const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (::fcntl(fd, F_SETFL, want) < 0) return errno_status("fcntl(F_SETFL)");
+    return Status::ok();
+}
+
+Status set_cloexec(int fd) {
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags < 0) return errno_status("fcntl(F_GETFD)");
+    if (::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0) return errno_status("fcntl(F_SETFD)");
+    return Status::ok();
+}
+
+}  // namespace lily

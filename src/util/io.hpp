@@ -1,0 +1,44 @@
+// Signal-hardened POSIX I/O helpers for the serving layer and the CLIs.
+//
+// Socket and pipe I/O in lily_serve / lily_client / lily_lint must survive
+// the two classic tool-killers: EINTR (a heartbeat timer or SIGCHLD lands
+// mid-read) and SIGPIPE (the peer hangs up while we are writing — a dropped
+// client must become an error return, never process death). Every helper
+// here retries short transfers and EINTR internally; callers see either the
+// full transfer or a real error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace lily {
+
+/// Ignore SIGPIPE process-wide so writes to closed sockets/pipes fail with
+/// EPIPE instead of killing the process. Idempotent; call early in main().
+void ignore_sigpipe();
+
+/// Read exactly `len` bytes, retrying EINTR and short reads. Returns Ok on
+/// success, Unsupported("eof") when the peer closed before any byte of this
+/// transfer, Internal on errors (message carries errno text). EOF mid-
+/// transfer is an Internal truncation error, not a clean close.
+Status read_full(int fd, void* buf, std::size_t len);
+
+/// Write exactly `len` bytes, retrying EINTR and short writes. A closed
+/// peer surfaces as Internal with "EPIPE" context (SIGPIPE must already be
+/// ignored — see ignore_sigpipe).
+Status write_full(int fd, const void* buf, std::size_t len);
+
+/// Drain whatever is currently readable into `out` without blocking
+/// (the fd must be O_NONBLOCK). Returns the number of bytes appended;
+/// sets `*eof` when the peer has closed.
+std::size_t read_available(int fd, std::string& out, bool* eof);
+
+/// Set or clear O_NONBLOCK. Returns Ok or Internal with errno text.
+Status set_nonblocking(int fd, bool nonblocking = true);
+
+/// Set FD_CLOEXEC so daemon-spawned children do not inherit the fd.
+Status set_cloexec(int fd);
+
+}  // namespace lily

@@ -1,0 +1,133 @@
+// A minimal JSON writer for machine-readable reports (lily_lint --json,
+// the serving layer's per-job verdicts, the benchmark harnesses). Output
+// is compact UTF-8 with escaped control characters; numbers are emitted
+// with enough precision to round-trip doubles. Header-only, no external
+// dependencies (the container bakes in no JSON library, and the format we
+// need is tiny).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lily {
+
+class JsonWriter {
+public:
+    /// Serialized document so far. Valid once every open scope is closed.
+    const std::string& str() const { return out_; }
+
+    JsonWriter& begin_object() {
+        comma();
+        out_ += '{';
+        stack_.push_back(true);
+        first_ = true;
+        return *this;
+    }
+    JsonWriter& end_object() {
+        out_ += '}';
+        pop();
+        return *this;
+    }
+    JsonWriter& begin_array() {
+        comma();
+        out_ += '[';
+        stack_.push_back(false);
+        first_ = true;
+        return *this;
+    }
+    JsonWriter& end_array() {
+        out_ += ']';
+        pop();
+        return *this;
+    }
+
+    JsonWriter& key(std::string_view k) {
+        comma();
+        quote(k);
+        out_ += ':';
+        first_ = true;  // the value that follows carries no comma
+        return *this;
+    }
+
+    JsonWriter& value(std::string_view v) {
+        comma();
+        quote(v);
+        return *this;
+    }
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(bool v) {
+        comma();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+    JsonWriter& value(double v) {
+        comma();
+        if (!std::isfinite(v)) {
+            out_ += "null";  // JSON has no Inf/NaN
+            return *this;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+        return *this;
+    }
+    JsonWriter& value(std::uint64_t v) {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+    JsonWriter& value(std::int64_t v) {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    template <typename T>
+    JsonWriter& kv(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+private:
+    void comma() {
+        if (!first_) out_ += ',';
+        first_ = false;
+    }
+    void pop() {
+        if (!stack_.empty()) stack_.pop_back();
+        first_ = false;
+    }
+    void quote(std::string_view s) {
+        out_ += '"';
+        for (const char c : s) {
+            switch (c) {
+                case '"': out_ += "\\\""; break;
+                case '\\': out_ += "\\\\"; break;
+                case '\n': out_ += "\\n"; break;
+                case '\r': out_ += "\\r"; break;
+                case '\t': out_ += "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+                        out_ += buf;
+                    } else {
+                        out_ += c;
+                    }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> stack_;
+    bool first_ = true;
+};
+
+}  // namespace lily

@@ -1,0 +1,153 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace lily {
+
+Pipe& Pipe::operator=(Pipe&& other) noexcept {
+    if (this != &other) {
+        close_both();
+        read_fd = std::exchange(other.read_fd, -1);
+        write_fd = std::exchange(other.write_fd, -1);
+    }
+    return *this;
+}
+
+Status Pipe::open() {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        return Status(StatusCode::Internal, std::string("pipe: ") + std::strerror(errno));
+    }
+    read_fd = fds[0];
+    write_fd = fds[1];
+    set_cloexec(read_fd);
+    set_cloexec(write_fd);
+    return Status::ok();
+}
+
+void Pipe::close_read() {
+    if (read_fd >= 0) ::close(read_fd);
+    read_fd = -1;
+}
+
+void Pipe::close_write() {
+    if (write_fd >= 0) ::close(write_fd);
+    write_fd = -1;
+}
+
+void Pipe::close_both() {
+    close_read();
+    close_write();
+}
+
+std::string ExitStatus::to_string() const {
+    switch (kind) {
+        case ExitKind::Running: return "running";
+        case ExitKind::Exited: return "exited(" + std::to_string(code) + ")";
+        case ExitKind::Signaled: return "signaled(" + std::to_string(code) + ")";
+    }
+    return "?";
+}
+
+namespace {
+
+ExitStatus wait_impl(pid_t pid, int flags) {
+    for (;;) {
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, flags);
+        if (r == 0) return {ExitKind::Running, 0};
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            // ECHILD: already reaped (or not our child) — report a plain
+            // exit so supervisors do not spin on a vanished pid.
+            return {ExitKind::Exited, -1};
+        }
+        if (WIFEXITED(status)) return {ExitKind::Exited, WEXITSTATUS(status)};
+        if (WIFSIGNALED(status)) return {ExitKind::Signaled, WTERMSIG(status)};
+        // Stopped/continued (should not happen without WUNTRACED): treat as
+        // still running.
+        if ((flags & WNOHANG) != 0) return {ExitKind::Running, 0};
+    }
+}
+
+}  // namespace
+
+ExitStatus try_wait(pid_t pid) { return wait_impl(pid, WNOHANG); }
+
+ExitStatus wait_exit(pid_t pid) { return wait_impl(pid, 0); }
+
+std::size_t process_rss_bytes(pid_t pid) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/proc/%d/statm", static_cast<int>(pid));
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) return 0;
+    unsigned long long vm_pages = 0;
+    unsigned long long rss_pages = 0;
+    const int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+    std::fclose(f);
+    if (got != 2) return 0;
+    return static_cast<std::size_t>(rss_pages) *
+           static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+StatusOr<pid_t> spawn_process(const std::vector<std::string>& argv,
+                              const std::string& stderr_to) {
+    if (argv.empty()) return Status(StatusCode::Internal, "spawn_process: empty argv");
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        return Status(StatusCode::Internal, std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: minimal async-signal-safe work, then exec.
+        const int devnull = ::open("/dev/null", O_RDONLY);
+        if (devnull >= 0) ::dup2(devnull, STDIN_FILENO);
+        if (!stderr_to.empty()) {
+            const int log = ::open(stderr_to.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (log >= 0) {
+                ::dup2(log, STDOUT_FILENO);
+                ::dup2(log, STDERR_FILENO);
+            }
+        }
+        ::execv(cargv[0], cargv.data());
+        // exec failed: report on stderr and die without running atexit.
+        const char* msg = "spawn_process: execv failed\n";
+        ssize_t ignored = ::write(STDERR_FILENO, msg, std::strlen(msg));
+        (void)ignored;
+        ::_exit(127);
+    }
+    return pid;
+}
+
+ExitStatus stop_process(pid_t pid, double grace_ms) {
+    ::kill(pid, SIGTERM);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double, std::milli>(grace_ms));
+    for (;;) {
+        const ExitStatus st = try_wait(pid);
+        if (!st.running()) return st;
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ::kill(pid, SIGKILL);
+    return wait_exit(pid);
+}
+
+}  // namespace lily

@@ -1,0 +1,79 @@
+// Subprocess and pipe-IPC helpers for the crash-isolated serving layer.
+//
+// The serving daemon's unit of failure isolation is a *process*: every job
+// runs in a forked worker, and the test/bench harnesses spawn the daemon
+// itself as a child. These helpers wrap the POSIX plumbing — pipe pairs
+// with close-on-exec discipline, fork+exec spawning, non-blocking child
+// reaping, and resident-set sampling from /proc — behind small RAII types
+// so the supervisor logic stays readable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "util/status.hpp"
+
+namespace lily {
+
+/// An RAII pipe pair. Either end can be released to a child or closed
+/// early; destruction closes whatever is still open.
+struct Pipe {
+    int read_fd = -1;
+    int write_fd = -1;
+
+    Pipe() = default;
+    Pipe(const Pipe&) = delete;
+    Pipe& operator=(const Pipe&) = delete;
+    Pipe(Pipe&& other) noexcept { *this = std::move(other); }
+    Pipe& operator=(Pipe&& other) noexcept;
+    ~Pipe() { close_both(); }
+
+    /// Create the pair (CLOEXEC on both ends). Ok or Internal.
+    Status open();
+    void close_read();
+    void close_write();
+    void close_both();
+};
+
+/// How a supervised child ended.
+enum class ExitKind : std::uint8_t {
+    Running,   // still alive
+    Exited,    // normal exit; `code` holds the exit status
+    Signaled,  // killed by a signal; `code` holds the signal number
+};
+
+struct ExitStatus {
+    ExitKind kind = ExitKind::Running;
+    int code = 0;
+
+    bool running() const { return kind == ExitKind::Running; }
+    std::string to_string() const;
+};
+
+/// Non-blocking reap: WNOHANG waitpid with EINTR retry. Returns Running
+/// while the child is alive. Calling again after a child was reaped keeps
+/// returning the reaped status.
+ExitStatus try_wait(pid_t pid);
+
+/// Blocking reap with EINTR retry.
+ExitStatus wait_exit(pid_t pid);
+
+/// Resident set size of a live process in bytes, read from
+/// /proc/<pid>/statm (0 when the process is gone or /proc is unreadable —
+/// callers treat 0 as "no sample", never as a breach).
+std::size_t process_rss_bytes(pid_t pid);
+
+/// fork+exec `argv` (argv[0] is the binary path). The child's stdin is
+/// /dev/null; stdout/stderr are inherited unless `stderr_to` names a file
+/// to append both to. Returns the child pid or Internal.
+StatusOr<pid_t> spawn_process(const std::vector<std::string>& argv,
+                              const std::string& stderr_to = "");
+
+/// SIGTERM then (after `grace_ms`) SIGKILL; reaps and returns the final
+/// status. Safe to call on an already-dead pid.
+ExitStatus stop_process(pid_t pid, double grace_ms = 2000.0);
+
+}  // namespace lily

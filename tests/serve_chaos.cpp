@@ -1,0 +1,326 @@
+// Chaos harness for the serving layer: hammer a real lily_serve daemon with
+// a job mix where a configurable fraction is poisoned (segfault, abort,
+// OOM, hang, wedge — some only at full tier, some sticky), SIGKILL the
+// daemon mid-run and restart it against the same spool, and then demand the
+// robustness contract held:
+//   * the daemon never died except when we killed it,
+//   * every accepted job reached a terminal verdict (Ok/Degraded/Error),
+//   * no accepted job was lost across the kill/restart,
+//   * the spool passes the CheckStage::Serve audit afterwards.
+//
+//   serve_chaos [--jobs=N] [--crash-pct=P] [--workers=N] [--quick] [--seed=N]
+//
+// Defaults: 200 jobs, 20% poisoned, 4 workers. --quick drops to 40 jobs for
+// sanitizer CI. Exit 0 iff every invariant held.
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "check/serve_checker.hpp"
+#include "circuits/benchmarks.hpp"
+#include "netlist/blif.hpp"
+#include "serve/client.hpp"
+#include "serve/spool.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace lily;
+
+std::string read_genlib_text() {
+    std::ifstream in(std::string(LILY_SOURCE_DIR) + "/lib/msu_tiny.genlib",
+                     std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct ChaosConfig {
+    std::uint32_t jobs = 200;
+    std::uint32_t crash_pct = 20;
+    std::uint32_t workers = 4;
+    std::uint64_t seed = 0xC4A05;
+    double deadline_ms = 600000.0;
+};
+
+struct Tracked {
+    std::uint64_t id = 0;
+    std::string fault;
+    JobState state = JobState::Queued;
+    bool terminal = false;
+};
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+    if (!ok) {
+        std::fprintf(stderr, "serve_chaos: FAIL: %s\n", what.c_str());
+        ++g_failures;
+    }
+}
+
+class DaemonHandle {
+public:
+    DaemonHandle(std::string binary, std::string socket, std::string spool,
+                 std::string log, std::uint32_t workers)
+        : binary_(std::move(binary)), socket_(std::move(socket)), spool_(std::move(spool)),
+          log_(std::move(log)), workers_(workers) {}
+
+    ~DaemonHandle() {
+        if (pid_ > 0) stop_process(pid_, 500.0);
+    }
+
+    bool start() {
+        const std::vector<std::string> argv = {
+            binary_,
+            "--socket=" + socket_,
+            "--spool=" + spool_,
+            "--workers=" + std::to_string(workers_),
+            "--queue-cap=64",
+            // Tight ceilings so hang/wedge/oom jobs resolve in hundreds of
+            // milliseconds, not the production 30s.
+            "--wall-ms=2500",
+            "--rss-mb=96",
+            "--hb-timeout-ms=1000",
+            "--backoff-ms=10",
+        };
+        StatusOr<pid_t> spawned = spawn_process(argv, log_);
+        if (!spawned.is_ok()) {
+            std::fprintf(stderr, "serve_chaos: spawn failed: %s\n",
+                         spawned.status().to_string().c_str());
+            return false;
+        }
+        pid_ = spawned.value();
+        ServeClient probe(socket_);
+        for (int i = 0; i < 400; ++i) {
+            if (probe.health().is_ok()) return true;
+            if (!alive()) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+        std::fprintf(stderr, "serve_chaos: daemon did not come up\n");
+        return false;
+    }
+
+    bool alive() { return pid_ > 0 && try_wait(pid_).running(); }
+
+    void kill_hard() {
+        if (pid_ <= 0) return;
+        ::kill(pid_, SIGKILL);
+        wait_exit(pid_);
+        pid_ = -1;
+    }
+
+    ExitStatus stop_graceful() {
+        if (pid_ <= 0) return ExitStatus{};
+        ServeClient client(socket_);
+        (void)client.shutdown(/*drain=*/false);
+        const ExitStatus ended = stop_process(pid_, 4000.0);
+        pid_ = -1;
+        return ended;
+    }
+
+private:
+    std::string binary_, socket_, spool_, log_;
+    std::uint32_t workers_;
+    pid_t pid_ = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ChaosConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            config.jobs = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 7));
+        } else if (arg.rfind("--crash-pct=", 0) == 0) {
+            config.crash_pct = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 12));
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            config.workers = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 10));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg == "--quick") {
+            config.jobs = 40;
+        } else {
+            std::fprintf(stderr, "serve_chaos: bad argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    char tmpl[] = "/tmp/lily-chaos-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+        std::perror("mkdtemp");
+        return 2;
+    }
+    const std::string dir = tmpl;
+    const std::string socket = dir + "/serve.sock";
+    const std::string spool = dir + "/spool";
+
+    // A small circuit mix so the daemon sees heterogeneous work.
+    const std::vector<std::string> circuits = {
+        write_blif(make_alu(4)),
+        write_blif(make_symmetric9()),
+        write_blif(make_control_logic(12, 6, 60, 7, "ctl")),
+    };
+    const std::string genlib = read_genlib_text();
+
+    // The poison mix. Plain kinds are absorbed by the degraded retry
+    // (verdict Degraded); sticky kinds are terminal Errors. Both paths kill
+    // real worker processes underneath the daemon.
+    const std::vector<std::string> faults = {
+        "serve:segv",       "serve:abort",        "serve:hang",
+        "serve:wedge",      "serve:segv-sticky",  "serve:abort-sticky",
+        "serve:oom-sticky", "serve:hang-sticky",
+    };
+
+    std::mt19937_64 rng(config.seed);
+    DaemonHandle daemon(LILY_SERVE_BIN, socket, spool, dir + "/server.log", config.workers);
+    if (!daemon.start()) return 1;
+
+    const double deadline = now_ms() + config.deadline_ms;
+    std::vector<Tracked> tracked;
+    tracked.reserve(config.jobs);
+    const std::uint32_t kill_at = config.jobs / 2;
+    bool killed_once = false;
+    std::uint64_t shed_seen = 0;
+
+    {
+        ServeClient client(socket);
+        for (std::uint32_t i = 0; i < config.jobs; ++i) {
+            if (i == kill_at) {
+                // The centerpiece: murder the daemon mid-run with workers
+                // busy and the queue loaded, then restart on the same spool.
+                std::printf("serve_chaos: SIGKILL daemon at job %u/%u\n", i, config.jobs);
+                daemon.kill_hard();
+                killed_once = true;
+                if (!daemon.start()) return 1;
+            }
+            JobSpec spec;
+            spec.name = "chaos-" + std::to_string(i);
+            spec.blif = circuits[i % circuits.size()];
+            spec.genlib = genlib;
+            Tracked t;
+            if (rng() % 100 < config.crash_pct) {
+                t.fault = faults[rng() % faults.size()];
+                spec.fault_spec = t.fault;
+            }
+            // Submit with shed-retry: rejection is legitimate backpressure,
+            // but it must be a *reply*, never a hang or a lost job.
+            for (;;) {
+                check(now_ms() < deadline, "submit deadline exceeded");
+                if (g_failures > 0 && now_ms() >= deadline) return 1;
+                const StatusOr<SubmitReply> reply = client.submit(spec);
+                if (!reply.is_ok()) {
+                    check(false, "submit transport error: " + reply.status().to_string());
+                    return 1;
+                }
+                if (reply.value().accepted) {
+                    t.id = reply.value().job_id;
+                    break;
+                }
+                ++shed_seen;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::max<std::uint32_t>(reply.value().retry_after_ms, 10)));
+            }
+            tracked.push_back(t);
+        }
+
+        // Drain: every accepted job must reach a terminal verdict.
+        for (Tracked& t : tracked) {
+            while (!t.terminal && now_ms() < deadline) {
+                const StatusOr<ResultReply> reply = client.wait(t.id, 2000);
+                if (!reply.is_ok()) {
+                    check(false, "wait transport error: " + reply.status().to_string());
+                    return 1;
+                }
+                check(reply.value().found,
+                      "job " + std::to_string(t.id) + " lost (not found)");
+                if (!reply.value().found) break;
+                if (reply.value().terminal) {
+                    t.terminal = true;
+                    t.state = reply.value().outcome.state;
+                }
+            }
+            check(t.terminal, "job " + std::to_string(t.id) + " never became terminal");
+        }
+        check(daemon.alive(), "daemon died during the run");
+
+        const StatusOr<std::string> stats = client.stats();
+        if (stats.is_ok()) std::printf("serve_chaos: stats %s\n", stats.value().c_str());
+    }
+
+    const ExitStatus ended = daemon.stop_graceful();
+    check(ended.kind == ExitKind::Exited && ended.code == 0,
+          "daemon shutdown not clean: " + ended.to_string());
+
+    // Tally and validate verdict semantics.
+    std::map<JobState, std::uint32_t> by_state;
+    std::uint32_t poisoned = 0;
+    for (const Tracked& t : tracked) {
+        if (t.terminal) ++by_state[t.state];
+        if (!t.fault.empty()) ++poisoned;
+        const bool sticky = t.fault.find("-sticky") != std::string::npos;
+        if (sticky) {
+            // Sticky faults fire at every tier: always a terminal error.
+            check(t.state == JobState::Error,
+                  "sticky-fault job " + std::to_string(t.id) + " ended " +
+                      to_string(t.state) + ", expected error");
+        } else if (t.fault.empty()) {
+            // Clean jobs succeed — at full effort, or degraded when the
+            // mid-run SIGKILL interrupted them (recovery retries at the
+            // degraded tier). They must never end in error.
+            check(t.state != JobState::Error, "clean job " + std::to_string(t.id) +
+                                                  " ended " + to_string(t.state));
+        } else {
+            // Plain faults always crash the full-tier attempt, so the best
+            // case is the degraded retry's verdict. Error is legal only
+            // when the server kill also landed on the retry attempt and
+            // exhausted the budget; Ok would mean the fault never fired.
+            check(t.state != JobState::Ok,
+                  "plain-fault job " + std::to_string(t.id) + " ended ok; "
+                  "the injected fault never fired");
+        }
+    }
+    check(killed_once, "daemon was never killed (harness bug)");
+
+    // The journal must audit clean after the carnage.
+    const CheckReport audit = ServeChecker{}.check_spool(spool);
+    check(!audit.has_errors(), "spool audit found errors:\n" + audit.to_string());
+
+    std::printf(
+        "serve_chaos: %zu jobs (%u poisoned, %llu sheds) -> ok=%u degraded=%u error=%u; "
+        "spool audit %s\n",
+        tracked.size(), poisoned, static_cast<unsigned long long>(shed_seen),
+        by_state[JobState::Ok], by_state[JobState::Degraded], by_state[JobState::Error],
+        audit.has_errors() ? "FAILED" : "clean");
+
+    if (g_failures == 0) {
+        const std::string cmd = "rm -rf '" + dir + "'";
+        if (std::system(cmd.c_str()) != 0) {
+            std::fprintf(stderr, "serve_chaos: cleanup failed for %s\n", dir.c_str());
+        }
+        std::printf("serve_chaos: PASS\n");
+        return 0;
+    }
+    std::fprintf(stderr, "serve_chaos: %d failure(s); artifacts kept in %s\n", g_failures,
+                 dir.c_str());
+    return 1;
+}
