@@ -153,7 +153,8 @@ run build-ci-sanitize/tests/serve_chaos --quick
 
 # Load-shed smoke: a one-slot, one-deep daemon whose only worker is wedged
 # must shed a 32-submit burst (reject-with-retry-after), never queue it
-# without bound and never hang the client.
+# without bound and never hang the client. --no-wait keeps the burst
+# admission-only: a closed loop would block forever on the wedged worker.
 SERVE=build-ci-release/src/serve/lily_serve
 CLIENT=build-ci-release/src/serve/lily_client
 SERVE_DIR="$(mktemp -d)"
@@ -164,10 +165,11 @@ for _ in $(seq 1 100); do
   "$CLIENT" --socket="$SOCK" health >/dev/null 2>&1 && break
   sleep 0.05
 done
-out="$("$CLIENT" --socket="$SOCK" load --jobs=32 --inject=serve:hang-sticky \
+out="$("$CLIENT" --socket="$SOCK" load --jobs=32 --no-wait \
+      --inject=serve:hang-sticky \
       examples/circuits/full_adder.blif lib/msu_tiny.genlib)"
 echo "+ $out"
-if grep -q "shed=0$" <<<"$out"; then
+if grep -q '"shed":0,' <<<"$out"; then
   echo "FAIL: 32-submit burst against a wedged one-slot daemon never shed" >&2
   exit 1
 fi
@@ -176,8 +178,12 @@ wait "$SERVE_PID" || true
 rm -rf "$SERVE_DIR"
 
 # Throughput/latency/shed-rate bench; gates on served-vs-in-process bit
-# identity at 1/4/8 worker slots and a non-zero shed rate under overload.
-run build-ci-release/bench/serve_throughput --quick --out=BENCH_serve.json
+# identity at 1/4/8 worker slots (cold and warm pools), a non-zero shed
+# rate under overload, and warm throughput >= 0.8x the committed
+# bench/BENCH_serve.json recording (machine-noise tolerant regression
+# gate on the warm-pool speedup).
+run build-ci-release/bench/serve_throughput --quick --out=BENCH_serve.json \
+    --baseline=bench/BENCH_serve.json --gate-ratio=0.8
 echo "+ BENCH_serve.json:"
 cat BENCH_serve.json
 

@@ -52,7 +52,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +69,7 @@
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
 #include "flow/flow.hpp"
+#include "flow/job.hpp"
 #include "flow/report.hpp"
 #include "map/base_mapper.hpp"
 #include "util/io.hpp"
@@ -217,6 +222,34 @@ bool parse_args(int argc, char** argv, LintArgs& out) {
     return true;
 }
 
+/// Input loading goes through the process-wide ArtifactCache (the same one
+/// the serving workers and run_flow_job use), so one process that loads the
+/// same bytes repeatedly — eco pipelines, embedded flow calls — parses each
+/// artifact once. The cached objects are immutable and shared; these
+/// helpers copy them out because the lint modes mutate their working
+/// network (cycle injection appends fanins).
+std::string slurp_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+Network load_network_cached(const std::string& path) {
+    const StatusOr<std::shared_ptr<const Network>> net =
+        ArtifactCache::instance().network_for(slurp_file(path));
+    if (!net.is_ok()) throw std::runtime_error(net.status().to_string());
+    return *net.value();
+}
+
+Library load_library_cached(const std::string& path) {
+    const StatusOr<std::shared_ptr<const Library>> lib =
+        ArtifactCache::instance().library_for(slurp_file(path));
+    if (!lib.is_ok()) throw std::runtime_error(lib.status().to_string());
+    return *lib.value();
+}
+
 /// Prove mode: map the circuit with the baseline mapper and prove the
 /// mapped netlist equivalent to the source via SAT-sweeping CEC. With the
 /// verify:miscompare fault the expectation inverts — one gate function is
@@ -227,8 +260,8 @@ int run_prove_mode(const LintArgs& args) {
     Network net("lint");
     Library lib;
     try {
-        net = read_blif_file(args.blif_path);
-        lib = read_genlib_file(args.genlib_path);
+        net = load_network_cached(args.blif_path);
+        lib = load_library_cached(args.genlib_path);
         lib.validate();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "lily_lint: %s\n", e.what());
@@ -347,8 +380,8 @@ int run_eco_mode(const LintArgs& args) {
     Network net("lint");
     Library lib;
     try {
-        net = read_blif_file(args.blif_path);
-        lib = read_genlib_file(args.genlib_path);
+        net = load_network_cached(args.blif_path);
+        lib = load_library_cached(args.genlib_path);
         lib.validate();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "lily_lint: %s\n", e.what());
@@ -412,8 +445,8 @@ int main(int argc, char** argv) {
     Network net("lint");
     Library lib;
     try {
-        net = read_blif_file(args.blif_path);
-        lib = read_genlib_file(args.genlib_path);
+        net = load_network_cached(args.blif_path);
+        lib = load_library_cached(args.genlib_path);
         lib.validate();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "lily_lint: %s\n", e.what());

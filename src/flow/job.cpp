@@ -1,7 +1,9 @@
 #include "flow/job.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <utility>
 
 #include "flow/report.hpp"
 #include "library/library.hpp"
@@ -34,15 +36,198 @@ const char* to_string(JobState state) {
     return "?";
 }
 
+const char* to_string(CacheProbe probe) {
+    switch (probe) {
+        case CacheProbe::Skipped: return "skipped";
+        case CacheProbe::Miss: return "miss";
+        case CacheProbe::Hit: return "hit";
+    }
+    return "?";
+}
+
+// ---- ArtifactCache --------------------------------------------------------
+
 namespace {
 
-JobOutcome error_outcome(const JobSpec& spec, Status status, double elapsed_ms) {
+/// FNV-1a 64 over the raw text. Collisions are tolerated (the stored text
+/// is compared on every probe), so a fast non-cryptographic hash is fine.
+std::uint64_t fnv1a64(std::string_view s) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+ArtifactCache& ArtifactCache::instance() {
+    static ArtifactCache cache;
+    static const bool configured = [] {
+        const char* env = std::getenv("LILY_ARTIFACT_CACHE");
+        if (env != nullptr &&
+            (std::string_view(env) == "off" || std::string_view(env) == "0")) {
+            cache.set_enabled(false);
+        }
+        return true;
+    }();
+    (void)configured;
+    return cache;
+}
+
+void ArtifactCache::touch(Entry& entry) { entry.stamp = ++clock_; }
+
+void ArtifactCache::evict_over_caps() {
+    while (entries_.size() > max_entries_ || text_bytes_ > max_text_bytes_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.stamp < victim->second.stamp) victim = it;
+        }
+        if (victim == entries_.end()) return;
+        text_bytes_ -= victim->second.text.size();
+        entries_.erase(victim);
+    }
+}
+
+StatusOr<std::shared_ptr<const Network>> ArtifactCache::network_for(
+    std::string_view blif_text, CacheProbe* probe) {
+    if (probe != nullptr) *probe = CacheProbe::Skipped;
+    const std::uint64_t key = fnv1a64(blif_text);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (enabled_) {
+            auto range = entries_.equal_range(key);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second.network != nullptr && it->second.text == blif_text) {
+                    ++hits_;
+                    touch(it->second);
+                    if (probe != nullptr) *probe = CacheProbe::Hit;
+                    return it->second.network;
+                }
+            }
+            ++misses_;
+            if (probe != nullptr) *probe = CacheProbe::Miss;
+        }
+    }
+    // Parse outside the lock: two threads missing on the same text parse
+    // twice rather than serialize; the re-check below keeps one copy.
+    StatusOr<Network> parsed = read_blif_checked(blif_text);
+    if (!parsed.is_ok()) return parsed.status();  // failures are never cached
+    auto shared = std::make_shared<const Network>(std::move(parsed.value()));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return StatusOr<std::shared_ptr<const Network>>(std::move(shared));
+    auto range = entries_.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second.network != nullptr && it->second.text == blif_text) {
+            return it->second.network;  // a concurrent miss beat us to it
+        }
+    }
+    Entry entry;
+    entry.text.assign(blif_text.data(), blif_text.size());
+    entry.network = shared;
+    touch(entry);
+    text_bytes_ += entry.text.size();
+    entries_.emplace(key, std::move(entry));
+    evict_over_caps();
+    return StatusOr<std::shared_ptr<const Network>>(std::move(shared));
+}
+
+StatusOr<std::shared_ptr<const Library>> ArtifactCache::library_for(
+    std::string_view genlib_text, CacheProbe* probe) {
+    if (probe != nullptr) *probe = CacheProbe::Skipped;
+    const std::uint64_t key = fnv1a64(genlib_text);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (enabled_) {
+            auto range = entries_.equal_range(key);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second.library != nullptr && it->second.text == genlib_text) {
+                    ++hits_;
+                    touch(it->second);
+                    if (probe != nullptr) *probe = CacheProbe::Hit;
+                    return it->second.library;
+                }
+            }
+            ++misses_;
+            if (probe != nullptr) *probe = CacheProbe::Miss;
+        }
+    }
+    // The cached Library carries the canonical name "genlib" regardless of
+    // which job parsed it first: the name feeds only the Verilog writer's
+    // banner, never the mapped BLIF or the report, so sharing one parse
+    // across differently-named jobs keeps served bytes identical.
+    StatusOr<Library> parsed = read_genlib_checked(genlib_text, "genlib");
+    if (!parsed.is_ok()) return parsed.status();
+    auto shared = std::make_shared<const Library>(std::move(parsed.value()));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return StatusOr<std::shared_ptr<const Library>>(std::move(shared));
+    auto range = entries_.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second.library != nullptr && it->second.text == genlib_text) {
+            return it->second.library;
+        }
+    }
+    Entry entry;
+    entry.text.assign(genlib_text.data(), genlib_text.size());
+    entry.library = shared;
+    touch(entry);
+    text_bytes_ += entry.text.size();
+    entries_.emplace(key, std::move(entry));
+    evict_over_caps();
+    return StatusOr<std::shared_ptr<const Library>>(std::move(shared));
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = entries_.size();
+    s.text_bytes = text_bytes_;
+    return s;
+}
+
+void ArtifactCache::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    text_bytes_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void ArtifactCache::set_enabled(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = enabled;
+}
+
+bool ArtifactCache::enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+}
+
+void ArtifactCache::set_capacity(std::size_t max_entries, std::size_t max_text_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_entries_ = max_entries;
+    max_text_bytes_ = max_text_bytes;
+    evict_over_caps();
+}
+
+namespace {
+
+JobOutcome error_outcome(const JobSpec& spec, Status status, double elapsed_ms,
+                         CacheProbe blif_probe = CacheProbe::Skipped,
+                         CacheProbe genlib_probe = CacheProbe::Skipped) {
     JobOutcome out;
     out.state = JobState::Error;
     out.status_code = status.code();
     out.status_message = status.message();
     out.tier = spec.tier;
     out.elapsed_ms = elapsed_ms;
+    out.blif_cache = blif_probe;
+    out.genlib_cache = genlib_probe;
     out.report_json = flow_report_json(status, nullptr, nullptr);
     return out;
 }
@@ -80,16 +265,22 @@ JobOutcome run_flow_job(const JobSpec& spec) {
     };
 
     crash_set_stage("parse");
-    StatusOr<Network> net = read_blif_checked(spec.blif);
+    CacheProbe blif_probe = CacheProbe::Skipped;
+    CacheProbe genlib_probe = CacheProbe::Skipped;
+    ArtifactCache& cache = ArtifactCache::instance();
+    StatusOr<std::shared_ptr<const Network>> net = cache.network_for(spec.blif, &blif_probe);
     if (!net.is_ok()) {
         return error_outcome(spec, Status(net.status()).with_context("job " + spec.name),
-                             elapsed());
+                             elapsed(), blif_probe, genlib_probe);
     }
-    StatusOr<Library> lib = read_genlib_checked(spec.genlib, spec.name + ".genlib");
+    StatusOr<std::shared_ptr<const Library>> lib =
+        cache.library_for(spec.genlib, &genlib_probe);
     if (!lib.is_ok()) {
         return error_outcome(spec, Status(lib.status()).with_context("job " + spec.name),
-                             elapsed());
+                             elapsed(), blif_probe, genlib_probe);
     }
+    const Network& network = *net.value();
+    const Library& library = *lib.value();
 
     const FlowOptions opts = options_for(spec);
     crash_set_stage("flow");
@@ -97,12 +288,12 @@ JobOutcome run_flow_job(const JobSpec& spec) {
         try {
             switch (spec.options.kind) {
                 case JobFlowKind::Baseline:
-                    return run_baseline_flow_checked(net.value(), lib.value(), opts);
+                    return run_baseline_flow_checked(network, library, opts);
                 case JobFlowKind::Adaptive:
-                    return run_lily_flow_adaptive_checked(net.value(), lib.value(), opts);
+                    return run_lily_flow_adaptive_checked(network, library, opts);
                 case JobFlowKind::Lily: break;
             }
-            return run_lily_flow_checked(net.value(), lib.value(), opts);
+            return run_lily_flow_checked(network, library, opts);
         } catch (const std::exception& e) {
             // The checked entry points reserve exceptions for invariant
             // violations (CheckLevel); a serving job folds those into the
@@ -113,12 +304,14 @@ JobOutcome run_flow_job(const JobSpec& spec) {
     crash_set_stage("result");
     if (!flow.is_ok()) {
         return error_outcome(spec, Status(flow.status()).with_context("job " + spec.name),
-                             elapsed());
+                             elapsed(), blif_probe, genlib_probe);
     }
 
     const FlowResult& result = flow.value();
     JobOutcome out;
     out.tier = spec.tier;
+    out.blif_cache = blif_probe;
+    out.genlib_cache = genlib_probe;
     out.metrics = result.metrics;
     out.state = (spec.tier == JobTier::Degraded || result.diagnostics.degraded())
                     ? JobState::Degraded
@@ -127,7 +320,7 @@ JobOutcome run_flow_job(const JobSpec& spec) {
     out.elapsed_ms = elapsed();
     out.report_json =
         flow_report_json(Status::ok(), &result.diagnostics, &result.metrics);
-    out.mapped_blif = write_blif(result.netlist.to_network(lib.value(), spec.name));
+    out.mapped_blif = write_blif(result.netlist.to_network(library, spec.name));
     return out;
 }
 

@@ -11,10 +11,15 @@
 //     health                                 one-line daemon health summary
 //     stats                                  daemon counters as JSON
 //     shutdown [--drain]                     stop the daemon
-//     load <circuit.blif> <library.genlib> --jobs=N
-//                                            fire N submits back-to-back and
-//                                            report accepted/shed counts —
-//                                            the admission-control smoke
+//     load <circuit.blif> <library.genlib> --jobs=N [--no-wait]
+//                                            closed-loop load run: submit and
+//                                            wait N jobs, print a JSON summary
+//                                            (jobs/s, p50/p99, shed rate)
+//                                            machine-comparable with
+//                                            bench/serve_throughput; --no-wait
+//                                            fires the submits back-to-back
+//                                            without waiting — the
+//                                            admission-control smoke
 //
 //   job options (map / submit / load):
 //     --flow=lily|baseline|adaptive  checked flow to run (default lily)
@@ -29,6 +34,8 @@
 //
 // Exit codes: 0 = job Ok/Degraded (or command succeeded), 1 = job Error,
 // shed rejection, or daemon unreachable, 2 = usage or input error.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +47,7 @@
 #include "check/check.hpp"
 #include "serve/client.hpp"
 #include "util/io.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -50,7 +58,8 @@ void usage(std::FILE* to) {
         "usage: lily_client --socket=PATH <command> [options]\n"
         "  commands: map submit wait health stats shutdown load\n"
         "  job options: --flow=K --objective=K --check=K --verify=K --budget-ms=N\n"
-        "               --threads=N --inject=SPEC --timeout-ms=N --out=FILE --jobs=N\n",
+        "               --threads=N --inject=SPEC --timeout-ms=N --out=FILE --jobs=N\n"
+        "               --no-wait\n",
         to);
 }
 
@@ -72,6 +81,7 @@ struct ClientArgs {
     std::string out_path;
     std::uint32_t timeout_ms = 120000;
     std::uint32_t jobs = 1;
+    bool no_wait = false;
     bool drain = false;
 };
 
@@ -128,6 +138,8 @@ bool parse_args(int argc, char** argv, ClientArgs& out) {
             out.out_path = arg.substr(6);
         } else if (arg.rfind("--jobs=", 0) == 0) {
             out.jobs = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 7));
+        } else if (arg == "--no-wait") {
+            out.no_wait = true;
         } else if (arg == "--drain") {
             out.drain = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -246,10 +258,15 @@ int cmd_health(ServeClient& client) {
     }
     const HealthReply& h = reply.value();
     std::printf(
-        "health: %s uptime=%llums workers=%u/%u queue=%u/%u max-heartbeat-age=%llums\n",
+        "health: %s uptime=%llums workers=%u/%u queue=%u/%u max-heartbeat-age=%llums "
+        "cache-hits=%llu cache-misses=%llu recycled=%llu respawned=%llu\n",
         h.ok ? "ok" : "shutting-down", static_cast<unsigned long long>(h.uptime_ms),
         h.workers_busy, h.workers_total, h.queue_depth, h.queue_capacity,
-        static_cast<unsigned long long>(h.max_heartbeat_age_ms));
+        static_cast<unsigned long long>(h.max_heartbeat_age_ms),
+        static_cast<unsigned long long>(h.cache_hits),
+        static_cast<unsigned long long>(h.cache_misses),
+        static_cast<unsigned long long>(h.workers_recycled),
+        static_cast<unsigned long long>(h.workers_respawned));
     return h.ok ? 0 : 1;
 }
 
@@ -264,28 +281,96 @@ int cmd_stats(ServeClient& client) {
     return 0;
 }
 
-/// Admission-control smoke: fire N submits back-to-back (no waiting in
-/// between) and count accepted vs shed. Under deliberate overload the
-/// daemon must reject, not hang — a zero shed count with jobs >> queue
-/// capacity means admission control is broken.
+double percentile_ms(std::vector<double> sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/// Load run against a live daemon, printing a JSON summary on stdout that
+/// is machine-comparable with bench/serve_throughput output (jobs/s,
+/// p50/p99 latency, shed rate).
+///
+/// Default is closed-loop: each job is submitted and waited to a terminal
+/// verdict before the next goes in, so per-job latency is a true
+/// round-trip. A shed submit is counted and skipped, never retried — the
+/// shed rate is part of the measurement. --no-wait instead fires all N
+/// submits back-to-back without waiting: the admission-control smoke,
+/// where the daemon under deliberate overload must reject (shed > 0), not
+/// queue without bound and not hang the client.
 int cmd_load(ServeClient& client, const ClientArgs& args) {
     JobSpec spec;
     if (!build_spec(args, spec)) return 2;
     std::uint32_t accepted = 0;
     std::uint32_t shed = 0;
+    std::uint32_t ok = 0;
+    std::uint32_t degraded = 0;
+    std::uint32_t error = 0;
+    std::vector<double> latencies_ms;
+    const auto t0 = std::chrono::steady_clock::now();
     for (std::uint32_t i = 0; i < args.jobs; ++i) {
+        const auto submit_at = std::chrono::steady_clock::now();
         const StatusOr<SubmitReply> reply = client.submit(spec);
         if (!reply.is_ok()) {
             std::fprintf(stderr, "lily_client: %s\n", reply.status().to_string().c_str());
             return 1;
         }
-        if (reply.value().accepted) {
-            ++accepted;
-        } else {
+        if (!reply.value().accepted) {
             ++shed;
+            continue;
         }
+        ++accepted;
+        if (args.no_wait) continue;
+        const StatusOr<ResultReply> result =
+            client.wait(reply.value().job_id, args.timeout_ms);
+        if (!result.is_ok()) {
+            std::fprintf(stderr, "lily_client: %s\n", result.status().to_string().c_str());
+            return 1;
+        }
+        if (result.value().terminal) {
+            switch (result.value().outcome.state) {
+                case JobState::Ok: ++ok; break;
+                case JobState::Degraded: ++degraded; break;
+                default: ++error; break;
+            }
+        } else {
+            ++error;  // timed out short of terminal: count it against the run
+        }
+        latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - submit_at)
+                                   .count());
     }
-    std::printf("load: jobs=%u accepted=%u shed=%u\n", args.jobs, accepted, shed);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const double jobs_per_sec =
+        (args.no_wait || elapsed_ms <= 0.0)
+            ? 0.0
+            : static_cast<double>(latencies_ms.size()) / (elapsed_ms / 1000.0);
+    const double shed_rate =
+        args.jobs == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(args.jobs);
+
+    JsonWriter w;
+    w.begin_object();
+    w.kv("command", "load");
+    w.kv("mode", args.no_wait ? "burst" : "closed-loop");
+    w.kv("jobs", static_cast<std::uint64_t>(args.jobs));
+    w.kv("accepted", static_cast<std::uint64_t>(accepted));
+    w.kv("shed", static_cast<std::uint64_t>(shed));
+    w.kv("shed_rate", shed_rate);
+    w.kv("completed_ok", static_cast<std::uint64_t>(ok));
+    w.kv("completed_degraded", static_cast<std::uint64_t>(degraded));
+    w.kv("completed_error", static_cast<std::uint64_t>(error));
+    w.kv("elapsed_ms", elapsed_ms);
+    w.kv("jobs_per_sec", jobs_per_sec);
+    w.kv("p50_ms", percentile_ms(latencies_ms, 0.50));
+    w.kv("p99_ms", percentile_ms(latencies_ms, 0.99));
+    w.end_object();
+    std::fputs(w.str().c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fprintf(stderr, "lily_client: load jobs=%u accepted=%u shed=%u\n", args.jobs,
+                 accepted, shed);
     return 0;
 }
 

@@ -1,13 +1,18 @@
 // lily_serve: the crash-isolated mapping daemon. Listens on a unix-domain
-// socket, runs every job in a forked sandboxed worker under wall-clock /
-// RSS / heartbeat ceilings, journals every job state to a crash-safe spool,
-// sheds load when the queue is full, and retries crashed jobs once at the
-// degraded effort tier. A worker segfault, abort, OOM, or hang is a per-job
-// verdict; the daemon itself does not die.
+// socket, runs every job in a warm preforked sandboxed worker (persistent
+// artifact cache, per-job wall-clock / RSS / heartbeat ceilings), journals
+// every job state to a crash-safe spool, sheds load when the queue is
+// full, and retries crashed jobs once at the degraded effort tier. A
+// worker segfault, abort, OOM, or hang is a per-job verdict; the daemon
+// respawns the worker and does not die.
 //
 //   lily_serve --socket=PATH --spool=DIR [options]
 //     --workers=N          sandbox slots (default 4)
 //     --queue-cap=N        admission-control queue bound (default 16)
+//     --pool=warm|cold     warm = preforked workers persist across jobs
+//                          (default); cold = fresh worker per job (A/B)
+//     --recycle-after=N    retire a warm worker after N jobs (default 256,
+//                          0 = never; bounds cache/heap soak)
 //     --wall-ms=N          per-job wall-clock ceiling (default 30000)
 //     --rss-mb=N           per-job resident-set ceiling (default 1024)
 //     --hb-timeout-ms=N    worker heartbeat-silence ceiling (default 2000)
@@ -35,6 +40,7 @@ using namespace lily;
 void usage(std::FILE* to) {
     std::fputs(
         "usage: lily_serve --socket=PATH --spool=DIR [--workers=N] [--queue-cap=N]\n"
+        "                  [--pool=warm|cold] [--recycle-after=N]\n"
         "                  [--wall-ms=N] [--rss-mb=N] [--hb-timeout-ms=N]\n"
         "                  [--retries=N] [--backoff-ms=N] [--check-spool] [--verbose]\n",
         to);
@@ -66,6 +72,12 @@ int main(int argc, char** argv) {
             options.workers = n;
         } else if (arg.rfind("--queue-cap=", 0) == 0 && parse_u32(arg.substr(12), n) && n > 0) {
             options.queue_capacity = n;
+        } else if (arg == "--pool=warm") {
+            options.warm_pool = true;
+        } else if (arg == "--pool=cold") {
+            options.warm_pool = false;
+        } else if (arg.rfind("--recycle-after=", 0) == 0 && parse_u32(arg.substr(16), n)) {
+            options.recycle_after_jobs = n;
         } else if (arg.rfind("--wall-ms=", 0) == 0 && parse_u32(arg.substr(10), n)) {
             options.limits.wall_ms = static_cast<double>(n);
         } else if (arg.rfind("--rss-mb=", 0) == 0 && parse_u32(arg.substr(9), n)) {

@@ -235,6 +235,9 @@ std::string encode_job_outcome(const JobOutcome& outcome) {
     w.u8(static_cast<std::uint8_t>(outcome.tier));
     w.str(outcome.crash_info);
     w.f64(outcome.elapsed_ms);
+    w.u8(static_cast<std::uint8_t>(outcome.blif_cache));
+    w.u8(static_cast<std::uint8_t>(outcome.genlib_cache));
+    w.u32(outcome.worker_job_seq);
     w.u64(static_cast<std::uint64_t>(outcome.metrics.gate_count));
     w.f64(outcome.metrics.cell_area);
     w.f64(outcome.metrics.chip_area);
@@ -250,17 +253,25 @@ bool decode_job_outcome(WireReader& r, JobOutcome& out) {
     std::uint8_t state = 0;
     std::uint8_t code = 0;
     std::uint8_t tier = 0;
+    std::uint8_t blif_cache = 0;
+    std::uint8_t genlib_cache = 0;
     std::uint64_t gates = 0;
     const bool ok = r.u8(state) && r.u8(code) && r.str(out.status_message) &&
                     r.u32(out.retries) && r.u8(tier) && r.str(out.crash_info) &&
-                    r.f64(out.elapsed_ms) && r.u64(gates) && r.f64(out.metrics.cell_area) &&
-                    r.f64(out.metrics.chip_area) && r.f64(out.metrics.wirelength) &&
-                    r.f64(out.metrics.critical_delay) && r.f64(out.metrics.max_congestion) &&
-                    r.str(out.report_json) && r.str(out.mapped_blif);
-    if (!ok || state > 4 || code > 6 || tier > 1) return false;
+                    r.f64(out.elapsed_ms) && r.u8(blif_cache) && r.u8(genlib_cache) &&
+                    r.u32(out.worker_job_seq) && r.u64(gates) &&
+                    r.f64(out.metrics.cell_area) && r.f64(out.metrics.chip_area) &&
+                    r.f64(out.metrics.wirelength) && r.f64(out.metrics.critical_delay) &&
+                    r.f64(out.metrics.max_congestion) && r.str(out.report_json) &&
+                    r.str(out.mapped_blif);
+    if (!ok || state > 4 || code > 6 || tier > 1 || blif_cache > 2 || genlib_cache > 2) {
+        return false;
+    }
     out.state = static_cast<JobState>(state);
     out.status_code = static_cast<StatusCode>(code);
     out.tier = static_cast<JobTier>(tier);
+    out.blif_cache = static_cast<CacheProbe>(blif_cache);
+    out.genlib_cache = static_cast<CacheProbe>(genlib_cache);
     out.metrics.gate_count = static_cast<std::size_t>(gates);
     return true;
 }
@@ -325,6 +336,10 @@ std::string encode_health_reply(const HealthReply& reply) {
     w.u32(reply.queue_depth);
     w.u32(reply.queue_capacity);
     w.u64(reply.max_heartbeat_age_ms);
+    w.u64(reply.cache_hits);
+    w.u64(reply.cache_misses);
+    w.u64(reply.workers_recycled);
+    w.u64(reply.workers_respawned);
     return w.take();
 }
 
@@ -332,7 +347,9 @@ bool decode_health_reply(WireReader& r, HealthReply& out) {
     std::uint8_t ok = 0;
     const bool good = r.u8(ok) && r.u64(out.uptime_ms) && r.u32(out.workers_busy) &&
                       r.u32(out.workers_total) && r.u32(out.queue_depth) &&
-                      r.u32(out.queue_capacity) && r.u64(out.max_heartbeat_age_ms);
+                      r.u32(out.queue_capacity) && r.u64(out.max_heartbeat_age_ms) &&
+                      r.u64(out.cache_hits) && r.u64(out.cache_misses) &&
+                      r.u64(out.workers_recycled) && r.u64(out.workers_respawned);
     out.ok = ok != 0;
     return good;
 }

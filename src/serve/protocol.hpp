@@ -31,7 +31,10 @@ namespace lily {
 inline constexpr std::uint32_t kFrameMagic = 0x4C535256u;  // "LSRV"
 inline constexpr std::size_t kHeaderBytes = 12;  // magic + kind + flags + length
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;    // 64 MB sanity bound
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: JobOutcome gained cache-probe diagnostics + worker job sequence;
+// HealthReply gained artifact-cache and pool-lifecycle counters; the
+// worker pipes gained JobDispatch (warm pool job hand-off).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgKind : std::uint16_t {
     // Requests.
@@ -46,8 +49,9 @@ enum class MsgKind : std::uint16_t {
     HealthReply = 66,
     StatsReply = 67,
     Ack = 68,
-    // Worker pipe.
+    // Worker pipes.
     WorkerResult = 128,  // JobOutcome from a sandboxed worker
+    JobDispatch = 129,   // JobSpec to an idle pooled worker
 };
 
 // ---- Payload serialization ------------------------------------------------
@@ -163,6 +167,12 @@ struct HealthReply {
     std::uint32_t queue_depth = 0;
     std::uint32_t queue_capacity = 0;
     std::uint64_t max_heartbeat_age_ms = 0;  // oldest busy worker's silence
+    // Warm-pool diagnostics: artifact-cache probes aggregated from worker
+    // outcomes, and pool churn (planned recycles vs unplanned respawns).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t workers_recycled = 0;
+    std::uint64_t workers_respawned = 0;
 };
 
 std::string encode_health_reply(const HealthReply& reply);

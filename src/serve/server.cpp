@@ -48,6 +48,10 @@ std::string ServeStats::to_json() const {
     w.kv("heartbeat_kills", heartbeat_kills);
     w.kv("retries", retries);
     w.kv("recovered_from_spool", recovered_from_spool);
+    w.kv("cache_hits", cache_hits);
+    w.kv("cache_misses", cache_misses);
+    w.kv("workers_recycled", workers_recycled);
+    w.kv("workers_respawned", workers_respawned);
     w.end_object();
     return w.str();
 }
@@ -183,7 +187,12 @@ Status ServeServer::run() {
 
     log("listening on " + options_.socket_path + " (" +
         std::to_string(options_.workers) + " workers, queue capacity " +
-        std::to_string(options_.queue_capacity) + ")");
+        std::to_string(options_.queue_capacity) + ", pool " +
+        (options_.warm_pool ? "warm" : "cold") + ", recycle after " +
+        std::to_string(options_.warm_pool ? options_.recycle_after_jobs : 1) + ")");
+    // Prefork the pool before accepting traffic: the first burst must not
+    // pay N forks.
+    ensure_workers();
 
     while (true) {
         if (g_stop_requested != 0) {
@@ -194,9 +203,12 @@ Status ServeServer::run() {
             break;
         }
         if (shutting_down_) {
+            // Warm workers idle between jobs; draining means "no queued
+            // work and nothing in flight", not "no workers alive" — the
+            // pool is SIGKILLed by the slot destructors on exit.
             const bool workers_idle = std::none_of(
                 slots_.begin(), slots_.end(),
-                [](const Slot& s) { return s.worker != nullptr; });
+                [](const Slot& s) { return s.worker != nullptr && s.worker->busy(); });
             if (!drain_ || (queue_.empty() && workers_idle)) break;
         }
         loop_tick();
@@ -205,6 +217,7 @@ Status ServeServer::run() {
 }
 
 void ServeServer::loop_tick() {
+    ensure_workers();
     dispatch_jobs();
 
     std::vector<pollfd> fds;
@@ -417,10 +430,31 @@ void ServeServer::answer_waiters(std::uint64_t job_id) {
     }
 }
 
-void ServeServer::dispatch_jobs() {
+void ServeServer::ensure_workers() {
+    if (shutting_down_ && !drain_) return;
     const double now = now_ms();
     for (Slot& slot : slots_) {
         if (slot.worker != nullptr) continue;
+        if (now < slot.respawn_not_before_ms) continue;
+        auto worker = std::make_unique<WorkerProcess>();
+        const Status started = worker->start(options_.limits);
+        if (!started.is_ok()) {
+            // Fork pressure (EAGAIN/ENOMEM) is usually transient; back off
+            // rather than spin. Queued jobs simply wait for a live slot.
+            slot.respawn_not_before_ms = now + 200.0;
+            log("worker spawn failed (retrying): " + started.message());
+            continue;
+        }
+        slot.worker = std::move(worker);
+        slot.job_id = 0;
+        log("worker pid " + std::to_string(slot.worker->pid()) + " warm");
+    }
+}
+
+void ServeServer::dispatch_jobs() {
+    const double now = now_ms();
+    for (Slot& slot : slots_) {
+        if (slot.worker == nullptr || !slot.worker->idle()) continue;
         // Find the first runnable job (backoff gate honored, FIFO order).
         auto it = std::find_if(queue_.begin(), queue_.end(), [&](std::uint64_t id) {
             const auto job = jobs_.find(id);
@@ -433,40 +467,84 @@ void ServeServer::dispatch_jobs() {
         job.state = JobState::Running;
         journal(job);
 
-        auto worker = std::make_unique<WorkerProcess>();
-        const Status started = worker->start(job.spec, options_.limits);
-        if (!started.is_ok()) {
-            JobOutcome failed;
-            failed.state = JobState::Error;
-            failed.status_code = StatusCode::Internal;
-            failed.status_message = "worker spawn failed: " + started.message();
-            finish_job(job, std::move(failed));
+        const Status sent = slot.worker->dispatch(job.spec);
+        if (!sent.is_ok()) {
+            // The frame did not arrive whole, so the job never started:
+            // requeue it without burning a retry, and replace the broken
+            // worker. A small backoff keeps a persistent failure from
+            // spinning the queue.
+            log("dispatch failed: " + sent.message());
+            job.state = JobState::Queued;
+            job.not_before_ms = now + 50.0;
+            journal(job);
+            queue_.push_front(job.id);
+            slot.worker->kill_now(WorkerEnd::Crashed, "dispatch write failed");
             continue;
         }
-        slot.worker = std::move(worker);
         slot.job_id = id;
         log("job " + std::to_string(id) + " -> worker pid " +
-            std::to_string(slot.worker->pid()) + " (tier " + to_string(job.spec.tier) + ")");
+            std::to_string(slot.worker->pid()) + " (tier " + to_string(job.spec.tier) +
+            ", worker job " + std::to_string(slot.worker->jobs_completed() + 1) + ")");
+    }
+}
+
+void ServeServer::account_cache(const JobOutcome& outcome) {
+    for (const CacheProbe probe : {outcome.blif_cache, outcome.genlib_cache}) {
+        if (probe == CacheProbe::Hit) ++stats_.cache_hits;
+        if (probe == CacheProbe::Miss) ++stats_.cache_misses;
     }
 }
 
 void ServeServer::poll_workers() {
+    const std::uint32_t recycle_after =
+        options_.warm_pool ? options_.recycle_after_jobs : 1;
     for (Slot& slot : slots_) {
         if (slot.worker == nullptr || !slot.worker->poll()) continue;
+
+        // A completed job leaves the worker alive and idle for the next
+        // dispatch — unless it hit the recycle threshold.
+        if (slot.worker->has_job_result()) {
+            WorkerResult result = slot.worker->take_job_result();
+            const std::uint64_t job_id = slot.job_id;
+            slot.job_id = 0;
+            account_cache(result.outcome);
+            const auto it = jobs_.find(job_id);
+            if (it != jobs_.end()) {
+                result.outcome.retries = it->second.retries;
+                finish_job(it->second, std::move(result.outcome));
+            }
+            if (recycle_after > 0 && slot.worker->jobs_completed() >= recycle_after) {
+                ++stats_.workers_recycled;
+                log("worker pid " + std::to_string(slot.worker->pid()) + " retiring after " +
+                    std::to_string(slot.worker->jobs_completed()) + " jobs");
+                slot.worker->retire();
+            }
+        }
+
+        if (!slot.worker->done()) continue;
         WorkerResult result = slot.worker->take_result();
         const std::uint64_t job_id = slot.job_id;
         slot.worker.reset();
         slot.job_id = 0;
+        slot.respawn_not_before_ms = 0.0;  // replace immediately next tick
+
+        if (result.end == WorkerEnd::Retired) continue;  // planned exit
+        if (job_id == 0) {
+            // Unplanned death between jobs (e.g. latent corruption from the
+            // last input). No job was lost; just replace it.
+            ++stats_.workers_respawned;
+            log("idle worker died (" + std::string(to_string(result.end)) + ": " +
+                result.crash_info + "); respawning");
+            continue;
+        }
+        ++stats_.workers_respawned;
         const auto it = jobs_.find(job_id);
         if (it == jobs_.end()) continue;
         Job& job = it->second;
-
         switch (result.end) {
-            case WorkerEnd::Completed: {
-                result.outcome.retries = job.retries;
-                finish_job(job, std::move(result.outcome));
-                break;
-            }
+            case WorkerEnd::Completed:
+            case WorkerEnd::Retired:
+                break;  // unreachable: handled above
             case WorkerEnd::Crashed: ++stats_.worker_crashes; retry_or_fail(job, result); break;
             case WorkerEnd::WallKilled: ++stats_.wall_kills; retry_or_fail(job, result); break;
             case WorkerEnd::RssKilled: ++stats_.rss_kills; retry_or_fail(job, result); break;
@@ -535,12 +613,16 @@ HealthReply ServeServer::health_snapshot() const {
     health.queue_depth = static_cast<std::uint32_t>(queue_.size());
     double max_age = 0.0;
     for (const Slot& slot : slots_) {
-        if (slot.worker != nullptr && slot.worker->running()) {
+        if (slot.worker != nullptr && slot.worker->busy()) {
             ++health.workers_busy;
             max_age = std::max(max_age, slot.worker->heartbeat_age_ms());
         }
     }
     health.max_heartbeat_age_ms = static_cast<std::uint64_t>(max_age);
+    health.cache_hits = stats_.cache_hits;
+    health.cache_misses = stats_.cache_misses;
+    health.workers_recycled = stats_.workers_recycled;
+    health.workers_respawned = stats_.workers_respawned;
     return health;
 }
 

@@ -1,6 +1,6 @@
 // The lily_serve daemon core: a single-threaded supervisor loop that
-// multiplexes a unix-domain listening socket, client connections, and
-// forked worker processes.
+// multiplexes a unix-domain listening socket, client connections, and a
+// pool of warm forked worker processes.
 //
 // Design rules that keep the server crash-proof:
 //  * The supervisor itself never parses a netlist, never maps, never
@@ -8,6 +8,12 @@
 //    pathological job can corrupt is its own process.
 //  * The supervisor stays single-threaded, so fork() is always safe (no
 //    other thread can hold a lock across the fork).
+//  * Workers are forked warm at startup and dispatched jobs over
+//    persistent pipes; each keeps a process-local ArtifactCache so
+//    steady-state jobs skip fork and both parses. A dead worker (crash,
+//    ceiling kill) is respawned; a worker that served recycle_after_jobs
+//    is retired and replaced to bound memory soak. --pool=cold degrades to
+//    the fork-per-job model (recycle after every job) for comparison.
 //  * Every accepted job is journaled to the spool before the client hears
 //    "accepted"; every state transition re-journals. Kill the server at
 //    any instant and a restart resumes or fails over the journaled jobs.
@@ -39,6 +45,13 @@ struct ServeOptions {
     WorkerLimits limits;            // per-job ceilings
     std::uint32_t max_retries = 1;  // crash retries per job (degraded tier)
     double retry_backoff_ms = 50.0;
+    /// Warm pool (default): workers persist across jobs with their
+    /// artifact caches. Cold (--pool=cold) retires every worker after one
+    /// job — the PR 6 fork-per-job behavior, kept for A/B benchmarking.
+    bool warm_pool = true;
+    /// Retire a worker after this many jobs (bounds cache/heap soak).
+    /// 0 = never. Forced to 1 by warm_pool=false.
+    std::uint32_t recycle_after_jobs = 256;
     bool verbose = false;           // per-event lines on stderr
 };
 
@@ -55,6 +68,12 @@ struct ServeStats {
     std::uint64_t heartbeat_kills = 0;
     std::uint64_t retries = 0;
     std::uint64_t recovered_from_spool = 0;
+    // Warm-pool accounting. Cache counters aggregate the CacheProbe
+    // diagnostics of worker outcomes (exact: Skipped probes don't count).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t workers_recycled = 0;   // planned retirements (recycle-after)
+    std::uint64_t workers_respawned = 0;  // unplanned deaths replaced
 
     std::string to_json() const;
 };
@@ -98,7 +117,8 @@ private:
 
     struct Slot {
         std::unique_ptr<WorkerProcess> worker;
-        std::uint64_t job_id = 0;
+        std::uint64_t job_id = 0;  // 0 = idle
+        double respawn_not_before_ms = 0.0;  // backoff against fork-fail spin
     };
 
     Status setup_listener();
@@ -110,8 +130,12 @@ private:
     void handle_submit(Connection& conn, const Frame& frame);
     void handle_wait(Connection& conn, const Frame& frame);
     void reply_result(Connection& conn, std::uint64_t job_id);
+    /// Keep every slot holding a live warm worker (respawn with backoff).
+    void ensure_workers();
     void dispatch_jobs();
     void poll_workers();
+    /// Fold one completed outcome's cache probes into the exact counters.
+    void account_cache(const JobOutcome& outcome);
     void finish_job(Job& job, JobOutcome outcome);
     void retry_or_fail(Job& job, const WorkerResult& result);
     void answer_waiters(std::uint64_t job_id);

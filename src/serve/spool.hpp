@@ -26,7 +26,8 @@
 namespace lily {
 
 inline constexpr std::uint32_t kSpoolMagic = 0x4C53504Cu;  // "LSPL"
-inline constexpr std::uint32_t kSpoolVersion = 1;
+// v2: records embed the v2 JobOutcome (cache probes + worker job seq).
+inline constexpr std::uint32_t kSpoolVersion = 2;
 
 struct SpoolEntry {
     std::uint64_t id = 0;

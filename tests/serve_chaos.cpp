@@ -101,6 +101,9 @@ public:
             "--rss-mb=96",
             "--hb-timeout-ms=1000",
             "--backoff-ms=10",
+            // A low recycle threshold makes the chaos run churn through
+            // planned retirements *and* crash respawns concurrently.
+            "--recycle-after=8",
         };
         StatusOr<pid_t> spawned = spawn_process(argv, log_);
         if (!spawned.is_ok()) {

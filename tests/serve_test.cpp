@@ -9,12 +9,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include "check/serve_checker.hpp"
@@ -178,6 +180,9 @@ TEST(ServeMessages, JobOutcomeRoundTrip) {
     outcome.tier = JobTier::Degraded;
     outcome.crash_info = "CRASH sig=11";
     outcome.elapsed_ms = 55.25;
+    outcome.blif_cache = CacheProbe::Hit;
+    outcome.genlib_cache = CacheProbe::Miss;
+    outcome.worker_job_seq = 17;
     outcome.metrics.gate_count = 42;
     outcome.report_json = "{\"x\":1}";
     outcome.mapped_blif = ".model m\n.end\n";
@@ -192,9 +197,24 @@ TEST(ServeMessages, JobOutcomeRoundTrip) {
     EXPECT_EQ(out.retries, 2u);
     EXPECT_EQ(out.crash_info, "CRASH sig=11");
     EXPECT_EQ(out.elapsed_ms, 55.25);
+    EXPECT_EQ(out.blif_cache, CacheProbe::Hit);
+    EXPECT_EQ(out.genlib_cache, CacheProbe::Miss);
+    EXPECT_EQ(out.worker_job_seq, 17u);
     EXPECT_EQ(out.metrics.gate_count, 42u);
     EXPECT_EQ(out.report_json, "{\"x\":1}");
     EXPECT_EQ(out.mapped_blif, ".model m\n.end\n");
+}
+
+TEST(ServeMessages, OutcomeWithBadCacheProbeRejected) {
+    JobOutcome outcome;
+    std::string bytes = encode_job_outcome(outcome);
+    // The probe bytes sit right after state/status/strings; corrupt via a
+    // re-encode with an out-of-range enum instead of byte surgery.
+    outcome.blif_cache = static_cast<CacheProbe>(7);
+    bytes = encode_job_outcome(outcome);
+    WireReader r(bytes);
+    JobOutcome out;
+    EXPECT_FALSE(decode_job_outcome(r, out));
 }
 
 TEST(ServeMessages, MalformedSpecRejected) {
@@ -361,6 +381,116 @@ TEST(FlowJob, DegradedTierReportsDegraded) {
     EXPECT_FALSE(outcome.mapped_blif.empty());
 }
 
+// ---- The parsed-artifact cache --------------------------------------------
+
+/// Tests share the process-global cache; each starts from a cleared state
+/// and restores the default caps so ordering cannot leak between them.
+class ArtifactCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        ArtifactCache::instance().clear();
+        ArtifactCache::instance().set_capacity(64, 64u << 20);
+    }
+    void TearDown() override {
+        ArtifactCache::instance().clear();
+        ArtifactCache::instance().set_capacity(64, 64u << 20);
+    }
+};
+
+TEST_F(ArtifactCacheTest, MissThenHitSharesOneParse) {
+    ArtifactCache& cache = ArtifactCache::instance();
+    const std::string blif = write_blif(make_alu(4));
+
+    CacheProbe probe = CacheProbe::Skipped;
+    const auto first = cache.network_for(blif, &probe);
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(probe, CacheProbe::Miss);
+
+    const auto second = cache.network_for(blif, &probe);
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(probe, CacheProbe::Hit);
+    // Same parse, not an equal re-parse: the shared_ptr is identical.
+    EXPECT_EQ(first.value().get(), second.value().get());
+
+    const ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.text_bytes, blif.size());
+}
+
+TEST_F(ArtifactCacheTest, LibraryAndNetworkKeyedIndependently) {
+    ArtifactCache& cache = ArtifactCache::instance();
+    CacheProbe probe = CacheProbe::Skipped;
+    ASSERT_TRUE(cache.library_for(tiny_genlib(), &probe).is_ok());
+    EXPECT_EQ(probe, CacheProbe::Miss);
+    ASSERT_TRUE(cache.library_for(tiny_genlib(), &probe).is_ok());
+    EXPECT_EQ(probe, CacheProbe::Hit);
+    ASSERT_TRUE(cache.network_for(write_blif(make_alu(2)), &probe).is_ok());
+    EXPECT_EQ(probe, CacheProbe::Miss);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST_F(ArtifactCacheTest, ParseFailureIsNeverCached) {
+    ArtifactCache& cache = ArtifactCache::instance();
+    const std::string broken = ".model broken\n.inputs a\n.outputs z\n.names a a z\n1 1\n.end\n";
+    CacheProbe probe = CacheProbe::Skipped;
+    EXPECT_FALSE(cache.network_for(broken, &probe).is_ok());
+    EXPECT_FALSE(cache.network_for(broken, &probe).is_ok());
+    // Both probes were misses: the failure must not be served from cache.
+    EXPECT_EQ(probe, CacheProbe::Miss);
+    const ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(ArtifactCacheTest, EvictionHonorsEntryCapLru) {
+    ArtifactCache& cache = ArtifactCache::instance();
+    cache.set_capacity(2, 64u << 20);
+    const std::string a = write_blif(make_alu(2));
+    const std::string b = write_blif(make_alu(3));
+    const std::string c = write_blif(make_alu(4));
+    ASSERT_TRUE(cache.network_for(a).is_ok());
+    ASSERT_TRUE(cache.network_for(b).is_ok());
+    ASSERT_TRUE(cache.network_for(a).is_ok());  // refresh a: b is now LRU
+    ASSERT_TRUE(cache.network_for(c).is_ok());  // evicts b
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    CacheProbe probe = CacheProbe::Skipped;
+    ASSERT_TRUE(cache.network_for(a, &probe).is_ok());
+    EXPECT_EQ(probe, CacheProbe::Hit);
+    ASSERT_TRUE(cache.network_for(b, &probe).is_ok());
+    EXPECT_EQ(probe, CacheProbe::Miss);  // b was the eviction victim
+}
+
+TEST_F(ArtifactCacheTest, DisabledCacheStillParses) {
+    ArtifactCache& cache = ArtifactCache::instance();
+    cache.set_enabled(false);
+    CacheProbe probe = CacheProbe::Hit;
+    const auto parsed = cache.network_for(write_blif(make_alu(2)), &probe);
+    cache.set_enabled(true);
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(probe, CacheProbe::Skipped);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST_F(ArtifactCacheTest, RepeatedFlowJobsParseOnce) {
+    // The satellite contract: repeated run_flow_job calls in one process
+    // hit the cache for both artifacts from the second call on.
+    const JobSpec spec = small_job();
+    const JobOutcome first = run_flow_job(spec);
+    EXPECT_EQ(first.blif_cache, CacheProbe::Miss);
+    EXPECT_EQ(first.genlib_cache, CacheProbe::Miss);
+    const JobOutcome second = run_flow_job(spec);
+    EXPECT_EQ(second.blif_cache, CacheProbe::Hit);
+    EXPECT_EQ(second.genlib_cache, CacheProbe::Hit);
+    // Bit-identity across cold and warm parses.
+    EXPECT_EQ(first.mapped_blif, second.mapped_blif);
+    EXPECT_EQ(first.report_json.substr(first.report_json.find("\"metrics\":")),
+              second.report_json.substr(second.report_json.find("\"metrics\":")));
+}
+
 // ---- Sandboxed worker crash matrix (direct fork, no daemon) ---------------
 
 WorkerLimits fast_limits() {
@@ -431,11 +561,84 @@ TEST(WorkerSandbox, StickyFaultFiresAtEveryTier) {
     EXPECT_EQ(result.end, WorkerEnd::Crashed);
 }
 
+/// Poll until the worker surfaces a completed job; dies loudly on timeout.
+WorkerResult await_job(WorkerProcess& worker) {
+    for (int i = 0; i < 4000; ++i) {
+        worker.poll();
+        if (worker.has_job_result()) return worker.take_job_result();
+        if (worker.done()) {
+            ADD_FAILURE() << "worker died: " << worker.result().crash_info;
+            return worker.result();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ADD_FAILURE() << "timed out waiting for job result";
+    return WorkerResult{};
+}
+
+TEST(WorkerSandbox, WarmWorkerServesManyJobsFromItsCache) {
+    WorkerProcess worker;
+    ASSERT_TRUE(worker.start(fast_limits()).is_ok());
+    const JobSpec spec = small_job();
+
+    ASSERT_TRUE(worker.dispatch(spec).is_ok());
+    const WorkerResult first = await_job(worker);
+    ASSERT_EQ(first.end, WorkerEnd::Completed);
+    EXPECT_EQ(first.outcome.worker_job_seq, 1u);
+    // A fresh fork has an empty cache: both artifacts parsed.
+    EXPECT_EQ(first.outcome.blif_cache, CacheProbe::Miss);
+    EXPECT_EQ(first.outcome.genlib_cache, CacheProbe::Miss);
+    EXPECT_GT(first.heartbeats, 0u);
+
+    // Same worker, same bytes: the process-local cache serves both parses.
+    ASSERT_TRUE(worker.idle());
+    ASSERT_TRUE(worker.dispatch(spec).is_ok());
+    const WorkerResult second = await_job(worker);
+    ASSERT_EQ(second.end, WorkerEnd::Completed);
+    EXPECT_EQ(second.outcome.worker_job_seq, 2u);
+    EXPECT_EQ(second.outcome.blif_cache, CacheProbe::Hit);
+    EXPECT_EQ(second.outcome.genlib_cache, CacheProbe::Hit);
+    EXPECT_EQ(worker.jobs_completed(), 2u);
+    // Warm or cold, the served bytes are identical.
+    EXPECT_EQ(first.outcome.mapped_blif, second.outcome.mapped_blif);
+
+    // Retirement: closing the dispatch pipe drains the worker to a clean
+    // exit, classified Retired (not Crashed), and it stops being idle.
+    worker.retire();
+    EXPECT_FALSE(worker.idle());
+    for (int i = 0; i < 4000 && !worker.done(); ++i) {
+        worker.poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(worker.done());
+    EXPECT_EQ(worker.result().end, WorkerEnd::Retired);
+}
+
+TEST(WorkerSandbox, CrashedWarmWorkerReportsMidStreamJob) {
+    // A crash on job N of a warm worker must be classified against that
+    // job, not swallowed by earlier successes.
+    WorkerProcess worker;
+    ASSERT_TRUE(worker.start(fast_limits()).is_ok());
+    ASSERT_TRUE(worker.dispatch(small_job()).is_ok());
+    const WorkerResult ok = await_job(worker);
+    ASSERT_EQ(ok.end, WorkerEnd::Completed);
+
+    ASSERT_TRUE(worker.dispatch(small_job("serve:segv")).is_ok());
+    for (int i = 0; i < 4000 && !worker.done(); ++i) {
+        worker.poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(worker.done());
+    EXPECT_EQ(worker.result().end, WorkerEnd::Crashed);
+    EXPECT_NE(worker.result().crash_info.find("sig=11"), std::string::npos)
+        << worker.result().crash_info;
+}
+
 // ---- End-to-end daemon tests ----------------------------------------------
 
 /// Spawns the real lily_serve binary against a fresh spool + socket. The
 /// test talks to it through ServeClient exactly like production clients.
-class ServeDaemonTest : public ::testing::TestWithParam<int> {
+class ServeDaemonBase : public ::testing::Test {
 protected:
     void SetUp() override {
         char tmpl[] = "/tmp/lily-serve-XXXXXX";
@@ -451,11 +654,11 @@ protected:
         ASSERT_EQ(std::system(cmd.c_str()), 0);
     }
 
-    void start_server(const std::vector<std::string>& extra = {}) {
+    void start_server_n(int workers, const std::vector<std::string>& extra = {}) {
         std::vector<std::string> argv = {LILY_SERVE_BIN,
                                          "--socket=" + socket_,
                                          "--spool=" + spool_,
-                                         "--workers=" + std::to_string(GetParam()),
+                                         "--workers=" + std::to_string(workers),
                                          "--backoff-ms=10"};
         argv.insert(argv.end(), extra.begin(), extra.end());
         StatusOr<pid_t> spawned = spawn_process(argv, dir_ + "/server.log");
@@ -480,8 +683,30 @@ protected:
         EXPECT_EQ(ended.kind, ExitKind::Exited) << ended.to_string();
     }
 
+    /// Open fds of the server process (via /proc): the leak detector.
+    int server_fd_count() const {
+        const std::string path = "/proc/" + std::to_string(server_pid_) + "/fd";
+        DIR* dir = ::opendir(path.c_str());
+        if (dir == nullptr) return -1;
+        int count = 0;
+        while (dirent* entry = ::readdir(dir)) {
+            if (std::strcmp(entry->d_name, ".") != 0 && std::strcmp(entry->d_name, "..") != 0) {
+                ++count;
+            }
+        }
+        ::closedir(dir);
+        return count;
+    }
+
     std::string dir_, socket_, spool_;
     pid_t server_pid_ = -1;
+};
+
+class ServeDaemonTest : public ServeDaemonBase, public ::testing::WithParamInterface<int> {
+protected:
+    void start_server(const std::vector<std::string>& extra = {}) {
+        start_server_n(GetParam(), extra);
+    }
 };
 
 TEST_P(ServeDaemonTest, MapMatchesInProcessBitForBit) {
@@ -680,6 +905,104 @@ TEST_P(ServeDaemonTest, DrainShutdownFinishesQueuedJobs) {
         ASSERT_TRUE(entry.is_ok()) << "job " << id << " missing from spool";
         EXPECT_TRUE(job_state_terminal(entry.value().state));
     }
+    EXPECT_FALSE(ServeChecker{}.check_spool(spool_).has_errors());
+}
+
+// ---- Warm-pool daemon behavior (exact counters need exactly one worker) ---
+
+TEST_F(ServeDaemonBase, CacheCountersExactAndRecycleAfterN) {
+    start_server_n(1, {"--recycle-after=2", "--verbose"});
+    ServeClient client(socket_);
+    const JobSpec spec = small_job();
+
+    // Five identical sequential jobs on one slot recycled every 2 jobs:
+    // workers serve (miss,miss)(hit,hit) | (miss,miss)(hit,hit) | (miss,miss)
+    // and every worker job number stays <= the recycle threshold.
+    const CacheProbe expect_blif[5] = {CacheProbe::Miss, CacheProbe::Hit, CacheProbe::Miss,
+                                       CacheProbe::Hit, CacheProbe::Miss};
+    std::string first_mapped;
+    for (int i = 0; i < 5; ++i) {
+        const StatusOr<JobOutcome> outcome = client.map(spec);
+        ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+        ASSERT_EQ(outcome.value().state, JobState::Ok) << "job " << i;
+        EXPECT_EQ(outcome.value().blif_cache, expect_blif[i]) << "job " << i;
+        EXPECT_EQ(outcome.value().genlib_cache, expect_blif[i]) << "job " << i;
+        EXPECT_EQ(outcome.value().worker_job_seq, static_cast<std::uint32_t>(i % 2 + 1));
+        if (i == 0) {
+            first_mapped = outcome.value().mapped_blif;
+        } else {
+            EXPECT_EQ(outcome.value().mapped_blif, first_mapped) << "job " << i;
+        }
+    }
+
+    const StatusOr<HealthReply> health = client.health();
+    ASSERT_TRUE(health.is_ok());
+    EXPECT_EQ(health.value().cache_hits, 4u);
+    EXPECT_EQ(health.value().cache_misses, 6u);
+    EXPECT_EQ(health.value().workers_recycled, 2u);
+    // Planned retirements are not crashes: nothing was "respawned".
+    EXPECT_EQ(health.value().workers_respawned, 0u)
+        << read_file_or_die(dir_ + "/server.log");
+}
+
+TEST_F(ServeDaemonBase, ColdPoolParsesEveryJob) {
+    start_server_n(1, {"--pool=cold"});
+    ServeClient client(socket_);
+    const JobSpec spec = small_job();
+    std::string first_mapped;
+    for (int i = 0; i < 2; ++i) {
+        const StatusOr<JobOutcome> outcome = client.map(spec);
+        ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+        ASSERT_EQ(outcome.value().state, JobState::Ok);
+        // Every job lands on a fresh fork: always a double miss, job seq 1.
+        EXPECT_EQ(outcome.value().blif_cache, CacheProbe::Miss);
+        EXPECT_EQ(outcome.value().genlib_cache, CacheProbe::Miss);
+        EXPECT_EQ(outcome.value().worker_job_seq, 1u);
+        if (i == 0) {
+            first_mapped = outcome.value().mapped_blif;
+        } else {
+            EXPECT_EQ(outcome.value().mapped_blif, first_mapped);
+        }
+    }
+    const StatusOr<HealthReply> health = client.health();
+    ASSERT_TRUE(health.is_ok());
+    EXPECT_EQ(health.value().cache_hits, 0u);
+    EXPECT_EQ(health.value().cache_misses, 4u);
+    EXPECT_EQ(health.value().workers_recycled, 2u);
+}
+
+TEST_F(ServeDaemonBase, CrashRespawnCyclesLeakNoFdsOrSpoolRecords) {
+    start_server_n(1);
+    ServeClient client(socket_);
+
+    // Settle: one clean job warms the pool, then measure the fd baseline
+    // (one client connection held open throughout).
+    ASSERT_TRUE(client.map(small_job()).is_ok());
+    const int baseline = server_fd_count();
+    ASSERT_GT(baseline, 0);
+
+    // Each sticky crash burns the full tier and the degraded retry: two
+    // worker deaths + respawns per job, exercising pipe setup/teardown.
+    for (int i = 0; i < 3; ++i) {
+        const StatusOr<JobOutcome> outcome = client.map(small_job("serve:segv-sticky"));
+        ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+        EXPECT_EQ(outcome.value().state, JobState::Error);
+    }
+    // A clean job still works on the respawned worker.
+    const StatusOr<JobOutcome> after = client.map(small_job());
+    ASSERT_TRUE(after.is_ok());
+    EXPECT_EQ(after.value().state, JobState::Ok);
+
+    // Give ensure_workers a tick to finish any in-flight respawn, then the
+    // fd table must be back at the baseline: pipes don't leak.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_EQ(server_fd_count(), baseline);
+
+    const StatusOr<HealthReply> health = client.health();
+    ASSERT_TRUE(health.is_ok());
+    EXPECT_GE(health.value().workers_respawned, 6u);
+
+    // Every crash-retry transition was journaled without damage.
     EXPECT_FALSE(ServeChecker{}.check_spool(spool_).has_errors());
 }
 
