@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a LILY_TRACE JSON-lines dump against a --json flow report.
+
+Usage: check_trace.py <trace-file> <report-json-file>
+
+Checks (all hard failures):
+  * the trace parses as JSON-lines with flow/span/counter records;
+  * every flow and span record is closed (no scope leaked);
+  * every span name is a stage the report knows — i.e. it comes from the
+    shared stage-name table in src/flow/stage.cpp, the same names the
+    FlowDiagnostics "stages" array uses;
+  * per-stage span sums equal the report's per-stage elapsed_ms figures
+    (the executor feeds the identical increment to both sides, so the
+    match is exact up to float round-trip);
+  * the report's embedded "trace" block agrees with the file dump.
+
+Exit code 0 on success, 1 on any violation.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_trace.py <trace-file> <report-json-file>")
+    trace_path, report_path = sys.argv[1], sys.argv[2]
+
+    with open(report_path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    stages = {s["name"]: s for s in report.get("stages", [])}
+    if not stages:
+        fail("report carries no stages array")
+
+    flows, spans = [], []
+    with open(trace_path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno} is not valid JSON: {e}")
+            kind = rec.get("type")
+            if kind == "flow":
+                flows.append(rec)
+            elif kind == "span":
+                spans.append(rec)
+            elif kind != "counter":
+                fail(f"line {lineno} has unknown record type {kind!r}")
+    if not flows:
+        fail("trace carries no flow records")
+    if not spans:
+        fail("trace carries no span records")
+
+    for rec in flows + spans:
+        if not rec.get("closed"):
+            fail(f"unclosed record: {rec}")
+
+    for s in spans:
+        if s["name"] not in stages:
+            fail(f"span name {s['name']!r} is not a stage the report knows "
+                 f"(shared stage table violation)")
+
+    sums = {}
+    for s in spans:
+        sums[s["name"]] = sums.get(s["name"], 0.0) + s["elapsed_ms"]
+    for name, total in sums.items():
+        want = stages[name]["elapsed_ms"]
+        if abs(total - want) > 1e-9 * max(1.0, abs(want)):
+            fail(f"stage {name!r}: span sum {total!r} != report elapsed {want!r}")
+
+    embedded = report.get("trace")
+    if embedded is None:
+        fail("report is missing its embedded trace block")
+    if len(embedded.get("spans", [])) != len(spans):
+        fail(f"embedded trace has {len(embedded.get('spans', []))} spans, "
+             f"file dump has {len(spans)}")
+
+    print(f"check_trace: ok — {len(spans)} spans across {len(flows)} flows, "
+          f"{len(sums)} stages, sums consistent with diagnostics")
+
+
+if __name__ == "__main__":
+    main()

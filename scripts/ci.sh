@@ -79,6 +79,19 @@ echo "+ $LINT --flow (expect 'flow: clean')"
 "$LINT" --flow --quiet examples/circuits/parity8.blif lib/msu_big.genlib \
   | grep -q "^flow: clean"
 
+# ---- Trace smoke: executor spans vs FlowDiagnostics --------------------
+# LILY_TRACE must dump a JSON-lines trace in which every span is closed,
+# every span name comes from the shared stage table (the report's own
+# stage names), and per-stage span sums equal the report's elapsed_ms
+# figures — the executor stamps both from the same increment, so any drift
+# means the orchestration double-counted or leaked a scope.
+TRACE_DIR="$(mktemp -d)"
+echo "+ LILY_TRACE trace smoke"
+LILY_TRACE="$TRACE_DIR/flow.trace" "$LINT" --flow --json \
+    examples/circuits/parity8.blif lib/msu_big.genlib > "$TRACE_DIR/report.json"
+run python3 scripts/check_trace.py "$TRACE_DIR/flow.trace" "$TRACE_DIR/report.json"
+rm -rf "$TRACE_DIR"
+
 # ---- Formal verification (sanitized build) -----------------------------
 # The prover must prove every example's mapped netlist equivalent to its
 # source, the netlist lint must stay quiet on the clean corpus and flag

@@ -345,11 +345,27 @@ int run_flow_mode(const LintArgs& args) {
     FlowOptions opts;
     opts.check = args.level;
     opts.budget.total_ms = args.budget_ms;
+    // One sink for the whole run: the executor's spans land here, feed the
+    // --json report's "trace" block, and are dumped as JSON-lines when
+    // LILY_TRACE names a file (the sink takes precedence over the env var
+    // inside the flow, so the dump happens exactly once, here).
+    TraceSink sink;
+    opts.trace = &sink;
     const StatusOr<FlowResult> result =
         run_flow_from_files(args.blif_path, args.genlib_path, opts, args.flow_kind);
+    const std::string trace_path = trace_path_from_env();
+    if (!trace_path.empty()) {
+        const Status dumped = sink.append_to_file(trace_path);
+        if (!dumped.is_ok()) {
+            std::fprintf(stderr, "lily_lint: trace dump failed: %s\n",
+                         dumped.to_string().c_str());
+        }
+    }
     if (!result.is_ok()) {
         if (args.json) {
-            std::fputs(flow_report_json(result.status(), nullptr, nullptr).c_str(), stdout);
+            std::fputs(flow_report_json(result.status(), nullptr, nullptr, nullptr, &sink)
+                           .c_str(),
+                       stdout);
             std::fputc('\n', stdout);
         }
         std::fprintf(stderr, "lily_lint: flow failed: %s\n",
@@ -358,9 +374,10 @@ int run_flow_mode(const LintArgs& args) {
     }
     const FlowResult& flow = result.value();
     if (args.json) {
-        std::fputs(
-            flow_report_json(Status::ok(), &flow.diagnostics, &flow.metrics).c_str(),
-            stdout);
+        std::fputs(flow_report_json(Status::ok(), &flow.diagnostics, &flow.metrics, nullptr,
+                                    &sink)
+                       .c_str(),
+                   stdout);
         std::fputc('\n', stdout);
         return 0;
     }

@@ -1,10 +1,9 @@
 #include "flow/flow.hpp"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-#include "util/parallel.hpp"
+#include "flow/stage.hpp"
 
 #include "check/mapped_checker.hpp"
 #include "check/match_checker.hpp"
@@ -13,44 +12,10 @@
 #include "netlist/blif.hpp"
 #include "netlist/simulate.hpp"
 #include "subject/decompose.hpp"
-#include "util/fault.hpp"
 
 namespace lily {
 
 namespace {
-
-using FlowClock = StageBudget::Clock;
-
-double ms_since(FlowClock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(FlowClock::now() - t0).count();
-}
-
-CoverMode effective_cover(const FlowOptions& opts) {
-    if (opts.cover.has_value()) return *opts.cover;
-    return opts.objective == MapObjective::Delay ? CoverMode::Cones : CoverMode::Trees;
-}
-
-/// Map a boundary point of `from` onto the boundary of `to` (both centered
-/// axis-aligned rectangles) by scaling each axis independently.
-Point rescale(const Point& p, const Rect& from, const Rect& to) {
-    const Point cf = from.center();
-    const Point ct = to.center();
-    const double sx = to.width() / std::max(from.width(), 1e-12);
-    const double sy = to.height() / std::max(from.height(), 1e-12);
-    return {ct.x + (p.x - cf.x) * sx, ct.y + (p.y - cf.y) * sy};
-}
-
-/// Fold the checkers' throwing interface into the Status channel: they
-/// signal corrupted pipeline state with std::logic_error.
-template <typename F>
-Status guarded_check(F&& body) {
-    try {
-        body();
-    } catch (const std::exception& e) {
-        return Status(StatusCode::InvariantViolation, e.what());
-    }
-    return Status::ok();
-}
 
 // ---- CheckLevel wiring: per-stage self-verification --------------------
 
@@ -85,21 +50,19 @@ void verify_mapped(CheckLevel level, const Library& lib, const MappedNetlist& m,
         .throw_if_errors(context);
 }
 
-/// Derive a per-stage budget: the stage's own allowance intersected with
-/// what remains of the whole flow's budget (when one exists).
-StageBudget derive_stage_budget(double stage_ms, const StageBudget* total) {
-    return total != nullptr ? StageBudget::stage(stage_ms, *total) : StageBudget(stage_ms);
-}
-
-/// Shared back end with diagnostics and the routing rung of the degradation
-/// ladder. `diag` accumulates the caller's earlier stages and is moved onto
-/// the result; `total` (nullable) is the whole-flow budget. `capture`
-/// (nullable) receives the timing report for the ECO pipeline's seed.
-StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& lib,
-                                  const FlowOptions& opts, std::optional<PadsInRegion> pads,
-                                  std::optional<std::vector<Point>> seed_positions,
-                                  FlowDiagnostics diag, StageBudget* total,
-                                  FlowCapture* capture = nullptr) {
+/// The stages every pipeline shares once a mapped netlist exists:
+/// placement, routing (with the HPWL rung of the degradation ladder),
+/// timing and the mapped/placement checkers — executed through the
+/// caller's pass manager so diagnostics, budgets and trace spans land in
+/// the caller's context. The context's diagnostics are moved onto the
+/// result. `capture` (nullable) receives the backend artifacts for the ECO
+/// pipeline's seed.
+StatusOr<FlowResult> run_backend_stages(StageExecutor& exec, const MappedNetlist& mapped,
+                                        const Library& lib, std::optional<PadsInRegion> pads,
+                                        std::optional<std::vector<Point>> seed_positions,
+                                        FlowCapture* capture = nullptr) {
+    FlowContext& ctx = exec.context();
+    const FlowOptions& opts = ctx.opts();
     FlowResult out;
     out.netlist = mapped;
 
@@ -113,7 +76,8 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
             return Status(StatusCode::InvariantViolation, "run_backend: pad count mismatch");
         }
         for (std::size_t i = 0; i < pads->positions.size(); ++i) {
-            view.netlist.pad_positions[i] = rescale(pads->positions[i], pads->region, region);
+            view.netlist.pad_positions[i] =
+                rescale_point(pads->positions[i], pads->region, region);
         }
     } else {
         view.netlist.pad_positions = place_pads(view.netlist, region);
@@ -131,7 +95,7 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
         for (std::size_t c = 0; c < placed_netlist.n_cells; ++c) {
             const std::size_t pad = placed_netlist.pad_positions.size();
             placed_netlist.pad_positions.push_back(
-                rescale((*seed_positions)[c], seed_region, region));
+                rescale_point((*seed_positions)[c], seed_region, region));
             for (int dup = 0; dup < 2; ++dup) {
                 PlacementNetlist::Net net;
                 net.cells = {c};
@@ -142,26 +106,24 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
     }
 
     // ---- Placement stage (budgeted: exhaustion keeps the coarser result).
-    FlowClock::time_point t0 = FlowClock::now();
-    StageBudget place_budget = derive_stage_budget(opts.budget.placement_ms, total);
-    GlobalPlacementOptions place_opts = opts.lily.placement;
-    if (place_opts.budget == nullptr && place_budget.limited()) {
-        place_opts.budget = &place_budget;
-    }
-    const GlobalPlacement global = place_global(placed_netlist, region, place_opts);
-    DetailedPlacement detailed = legalize_rows(view.netlist, global);
-    improve_rows(view.netlist, detailed);
-    {
-        StageDiagnostics& pd = diag.stage("placement");
-        pd.elapsed_ms += ms_since(t0);
-        if (global.budget_exhausted) {
-            pd.state = StageState::Degraded;
-            pd.note = "placement budget exhausted; kept best-effort positions (" +
-                      place_budget.describe() + ")";
-        } else if (pd.state == StageState::NotRun) {
-            pd.state = StageState::Ok;
+    GlobalPlacement global;
+    DetailedPlacement detailed;
+    exec.run(StageId::Placement, [&](StageScope& s) {
+        StageBudget& place_budget = s.budget();
+        GlobalPlacementOptions place_opts = opts.lily.placement;
+        if (place_opts.budget == nullptr && place_budget.limited()) {
+            place_opts.budget = &place_budget;
         }
-    }
+        global = place_global(placed_netlist, region, place_opts);
+        detailed = legalize_rows(view.netlist, global);
+        improve_rows(view.netlist, detailed);
+        if (global.budget_exhausted) {
+            s.degraded("placement budget exhausted; kept best-effort positions (" +
+                       place_budget.describe() + ")");
+        } else {
+            s.ok_if_unset();
+        }
+    });
     out.final_positions = detailed.positions;
     out.pad_positions = view.netlist.pad_positions;
     if (capture != nullptr) capture->detailed = detailed;
@@ -170,78 +132,77 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
     // router:overbudget fault or a flow budget already spent means routed
     // metrics are unobtainable; estimate wirelength from the placement
     // instead of aborting (flagged Degraded).
-    t0 = FlowClock::now();
-    StageBudget route_budget = derive_stage_budget(opts.budget.routing_ms, total);
-    RouterOptions router_opts = opts.router;
-    if (router_opts.budget == nullptr && route_budget.limited()) {
-        router_opts.budget = &route_budget;
-    }
-    bool hpwl_rung = false;
-    std::string rung_reason;
-    if (opts.recovery.allow_hpwl_metrics) {
-        if (fault_enabled("router", "overbudget")) {
-            hpwl_rung = true;
-            rung_reason = "injected fault router:overbudget";
-        } else if (total != nullptr && total->exhausted()) {
-            hpwl_rung = true;
-            rung_reason = "flow budget exhausted before routing (" + total->describe() + ")";
-        }
-    }
     RouteResult routed;
-    if (hpwl_rung) {
-        routed.total_wirelength = total_hpwl(view.netlist, detailed.positions);
-        StageDiagnostics& rd = diag.stage("routing");
-        rd.elapsed_ms += ms_since(t0);
-        rd.state = StageState::Degraded;
-        rd.note = rung_reason + "; wirelength/chip-area are HPWL estimates, congestion unknown";
-    } else {
-        routed = route_global(view.netlist, detailed.positions, region, router_opts);
-        StageDiagnostics& rd = diag.stage("routing");
-        rd.elapsed_ms += ms_since(t0);
-        if (routed.budget_exhausted) {
-            rd.state = StageState::Degraded;
-            rd.note = "routing budget exhausted; refinement passes skipped (" +
-                      route_budget.describe() + ")";
-        } else if (rd.state == StageState::NotRun) {
-            rd.state = StageState::Ok;
+    exec.run(StageId::Routing, [&](StageScope& s) {
+        StageBudget& route_budget = s.budget();
+        RouterOptions router_opts = opts.router;
+        if (router_opts.budget == nullptr && route_budget.limited()) {
+            router_opts.budget = &route_budget;
         }
-    }
+        bool hpwl_rung = false;
+        std::string rung_reason;
+        if (s.rung("hpwl-metrics")) {
+            if (s.fault("overbudget")) {
+                hpwl_rung = true;
+                rung_reason = "injected fault router:overbudget";
+            } else if (ctx.total() != nullptr && ctx.total()->exhausted()) {
+                hpwl_rung = true;
+                rung_reason =
+                    "flow budget exhausted before routing (" + ctx.total()->describe() + ")";
+            }
+        }
+        if (hpwl_rung) {
+            routed.total_wirelength = total_hpwl(view.netlist, detailed.positions);
+            s.degraded(rung_reason +
+                       "; wirelength/chip-area are HPWL estimates, congestion unknown");
+            return;
+        }
+        routed = route_global(view.netlist, detailed.positions, region, router_opts);
+        if (routed.budget_exhausted) {
+            s.degraded("routing budget exhausted; refinement passes skipped (" +
+                       route_budget.describe() + ")");
+        } else {
+            s.ok_if_unset();
+        }
+    });
 
     const ChipAreaEstimate chip =
         estimate_chip_area(view.netlist.total_cell_area(), routed, opts.chip);
     if (capture != nullptr) capture->routed = routed;
 
-    t0 = FlowClock::now();
-    const TimingReport timing =
-        analyze_timing(mapped, lib, view, detailed.positions, opts.timing);
-    {
-        StageDiagnostics& td = diag.stage("timing");
-        td.elapsed_ms += ms_since(t0);
-        if (td.state == StageState::NotRun) td.state = StageState::Ok;
-    }
+    TimingReport timing;
+    exec.run(StageId::Timing, [&](StageScope& s) {
+        timing = analyze_timing(mapped, lib, view, detailed.positions, opts.timing);
+        s.ok_if_unset();
+    });
     if (capture != nullptr) capture->timing = timing;
 
-    if (opts.check != CheckLevel::Off) {
-        LILY_RETURN_IF_ERROR(guarded_check([&] {
-            const MappedChecker mapped_checker(lib);
-            const PlacementChecker placement_checker;
-            CheckReport rep = mapped_checker.check(mapped);
-            rep.merge(placement_checker.check_global(placed_netlist, global));
-            rep.merge(placement_checker.check_detailed(view.netlist, detailed));
-            if (!pads.has_value()) {
-                // Caller-supplied pad rings are a geometry contract of their
-                // own: they may sit on the boundary of a *different* region
-                // (e.g. a fixed ring reused across two mappings), so after
-                // rescaling they need not land on this region's boundary.
-                // Only the ring this back end placed itself must satisfy the
-                // boundary invariant.
-                rep.merge(placement_checker.check_pads(view.netlist.pad_positions, region));
-            }
-            rep.merge(mapped_checker.check_timing(mapped, timing));
-            rep.throw_if_errors("run_backend");
-        }));
-        StageDiagnostics& cd = diag.stage("checks");
-        if (cd.state == StageState::NotRun) cd.state = StageState::Ok;
+    if (ctx.checks_enabled()) {
+        Status checked = exec.run(StageId::Checks, [&](StageScope& s) -> Status {
+            LILY_RETURN_IF_ERROR(guarded_check([&] {
+                const MappedChecker mapped_checker(lib);
+                const PlacementChecker placement_checker;
+                CheckReport rep = mapped_checker.check(mapped);
+                rep.merge(placement_checker.check_global(placed_netlist, global));
+                rep.merge(placement_checker.check_detailed(view.netlist, detailed));
+                if (!pads.has_value()) {
+                    // Caller-supplied pad rings are a geometry contract of
+                    // their own: they may sit on the boundary of a
+                    // *different* region (e.g. a fixed ring reused across
+                    // two mappings), so after rescaling they need not land
+                    // on this region's boundary. Only the ring this back
+                    // end placed itself must satisfy the boundary
+                    // invariant.
+                    rep.merge(
+                        placement_checker.check_pads(view.netlist.pad_positions, region));
+                }
+                rep.merge(mapped_checker.check_timing(mapped, timing));
+                rep.throw_if_errors("run_backend");
+            }));
+            s.ok_if_unset();
+            return Status::ok();
+        });
+        LILY_RETURN_IF_ERROR(checked);
     }
 
     out.metrics.gate_count = mapped.gate_count();
@@ -250,120 +211,138 @@ StatusOr<FlowResult> backend_impl(const MappedNetlist& mapped, const Library& li
     out.metrics.wirelength = routed.total_wirelength;
     out.metrics.critical_delay = timing.critical_delay;
     out.metrics.max_congestion = routed.max_congestion;
-    out.diagnostics = std::move(diag);
+    out.diagnostics = std::move(ctx.diag());
     return out;
+}
+
+/// The decompose pass shared by both batch pipelines.
+Status run_decompose_stage(StageExecutor& exec, const Network& net,
+                           std::optional<DecomposeResult>& sub) {
+    FlowContext& ctx = exec.context();
+    Status decomposed = exec.run(StageId::Decompose, [&](StageScope& s) -> Status {
+        try {
+            sub = decompose(net, ctx.opts().decompose);
+        } catch (const std::exception& e) {
+            return Status(StatusCode::Unsupported, e.what())
+                .with_context(ctx.context("decompose"));
+        }
+        s.ok();
+        return Status::ok();
+    });
+    LILY_RETURN_IF_ERROR(decomposed);
+    return guarded_check([&] {
+        verify_subject(ctx.check(), sub->graph, net, ctx.context("decompose").c_str());
+    });
 }
 
 }  // namespace
 
-Status run_verify_stage(const Network& source, const Library& lib, const MappedNetlist& mapped,
-                        const FlowOptions& opts, FlowDiagnostics& diag, const char* context) {
-    if (opts.verify == VerifyLevel::Off) return Status::ok();
-    const FlowClock::time_point t0 = FlowClock::now();
-    StageDiagnostics& vd = diag.stage("verify");
-    const auto finish = [&](StageState state, std::string note) {
-        vd.elapsed_ms += ms_since(t0);
-        vd.state = state;
-        vd.note = std::move(note);
-    };
-    const std::string ctx = std::string(context) + ": verify";
-
-    // Expand the mapped netlist into a Boolean network through its library
-    // cell functions; the verify:miscompare probe flips one gate first so
-    // the refutation path can be exercised deterministically.
-    std::optional<Network> impl;
-    try {
-        if (fault_enabled("verify", "miscompare")) {
-            MappedNetlist corrupted = mapped;
-            if (!inject_wrong_cover(corrupted, lib)) {
-                finish(StageState::Failed, "verify:miscompare probe found no same-arity gate pair");
-                return Status(StatusCode::InvariantViolation,
-                              ctx + ": miscompare probe could not corrupt the netlist "
-                                    "(library too small)");
+Status run_verify_stage(FlowContext& ctx, const Network& source, const Library& lib,
+                        const MappedNetlist& mapped) {
+    if (ctx.opts().verify == VerifyLevel::Off) return Status::ok();
+    const FlowOptions& opts = ctx.opts();
+    const std::string verify_ctx = ctx.context("verify");
+    StageExecutor exec(ctx);
+    return exec.run(StageId::Verify, [&](StageScope& s) -> Status {
+        // Expand the mapped netlist into a Boolean network through its
+        // library cell functions; the verify:miscompare probe flips one gate
+        // first so the refutation path can be exercised deterministically.
+        std::optional<Network> impl;
+        try {
+            if (s.fault("miscompare")) {
+                MappedNetlist corrupted = mapped;
+                if (!inject_wrong_cover(corrupted, lib)) {
+                    s.failed("verify:miscompare probe found no same-arity gate pair");
+                    return Status(StatusCode::InvariantViolation,
+                                  verify_ctx + ": miscompare probe could not corrupt the "
+                                               "netlist (library too small)");
+                }
+                impl = corrupted.to_network(lib);
+            } else {
+                impl = mapped.to_network(lib);
             }
-            impl = corrupted.to_network(lib);
-        } else {
-            impl = mapped.to_network(lib);
+        } catch (const std::exception& e) {
+            s.failed(e.what());
+            return Status(StatusCode::InvariantViolation, e.what()).with_context(verify_ctx);
         }
-    } catch (const std::exception& e) {
-        finish(StageState::Failed, e.what());
-        return Status(StatusCode::InvariantViolation, e.what()).with_context(ctx);
-    }
 
-    // Sim rung: random-vector comparison only.
-    const auto simulate_verdict = [&]() -> StatusOr<bool> {
-        return equivalent_random_checked(source, *impl, opts.cec.sim_blocks, opts.cec.seed);
-    };
-    if (opts.verify == VerifyLevel::Sim) {
+        // Sim rung: random-vector comparison only.
+        const auto simulate_verdict = [&]() -> StatusOr<bool> {
+            return equivalent_random_checked(source, *impl, opts.cec.sim_blocks,
+                                             opts.cec.seed);
+        };
+        if (opts.verify == VerifyLevel::Sim) {
+            StatusOr<bool> eq = simulate_verdict();
+            if (!eq.is_ok()) {
+                s.failed(eq.status().to_string());
+                Status bad = eq.status();
+                return bad.with_context(verify_ctx);
+            }
+            if (!eq.value()) {
+                s.failed("random simulation found a miscompare");
+                return Status(StatusCode::InvariantViolation,
+                              verify_ctx + ": mapped netlist miscompares with the source "
+                                           "network under random simulation");
+            }
+            s.ok("equivalent on " + std::to_string(opts.cec.sim_blocks) +
+                 " random blocks (simulation only)");
+            return Status::ok();
+        }
+
+        // Prove rung: SAT-sweeping CEC.
+        StatusOr<CecResult> cec_or = check_equivalence(source, *impl, opts.cec);
+        if (!cec_or.is_ok()) {
+            s.failed(cec_or.status().to_string());
+            Status bad = cec_or.status();
+            return bad.with_context(verify_ctx);
+        }
+        const CecResult& cec = cec_or.value();
+        switch (cec.verdict) {
+            case CecVerdict::Proven:
+                s.ok("proven equivalent (" + std::to_string(cec.stats.sat_calls) +
+                     " SAT call(s), " + std::to_string(cec.stats.merged_nodes) + " of " +
+                     std::to_string(cec.stats.aig_and_nodes) + " AIG nodes merged)");
+                return Status::ok();
+            case CecVerdict::Refuted:
+                s.failed(cec.cex->to_string());
+                return Status(StatusCode::InvariantViolation,
+                              verify_ctx +
+                                  ": mapped netlist is NOT equivalent to the source "
+                                  "network; " +
+                                  cec.cex->to_string());
+            case CecVerdict::Inconclusive:
+                break;
+        }
+
+        // Degradation rung: the proof ran out of budget; fall back to the
+        // random-simulation verdict and record the reduced confidence.
         StatusOr<bool> eq = simulate_verdict();
         if (!eq.is_ok()) {
-            finish(StageState::Failed, eq.status().to_string());
+            s.failed(eq.status().to_string());
             Status bad = eq.status();
-            return bad.with_context(ctx);
+            return bad.with_context(verify_ctx);
         }
         if (!eq.value()) {
-            finish(StageState::Failed, "random simulation found a miscompare");
+            s.failed("proof inconclusive and simulation found a miscompare");
             return Status(StatusCode::InvariantViolation,
-                          ctx + ": mapped netlist miscompares with the source network "
-                                "under random simulation");
+                          verify_ctx + ": proof inconclusive (" + cec.note +
+                              ") and random simulation found a miscompare");
         }
-        finish(StageState::Ok, "equivalent on " + std::to_string(opts.cec.sim_blocks) +
-                                   " random blocks (simulation only)");
+        s.degraded("proof inconclusive (" + cec.note +
+                   "); fell back to the random-simulation verdict: no miscompare on " +
+                   std::to_string(opts.cec.sim_blocks) + " blocks");
         return Status::ok();
-    }
-
-    // Prove rung: SAT-sweeping CEC.
-    StatusOr<CecResult> cec_or = check_equivalence(source, *impl, opts.cec);
-    if (!cec_or.is_ok()) {
-        finish(StageState::Failed, cec_or.status().to_string());
-        Status bad = cec_or.status();
-        return bad.with_context(ctx);
-    }
-    const CecResult& cec = cec_or.value();
-    switch (cec.verdict) {
-        case CecVerdict::Proven:
-            finish(StageState::Ok,
-                   "proven equivalent (" + std::to_string(cec.stats.sat_calls) +
-                       " SAT call(s), " + std::to_string(cec.stats.merged_nodes) + " of " +
-                       std::to_string(cec.stats.aig_and_nodes) + " AIG nodes merged)");
-            return Status::ok();
-        case CecVerdict::Refuted:
-            finish(StageState::Failed, cec.cex->to_string());
-            return Status(StatusCode::InvariantViolation,
-                          ctx + ": mapped netlist is NOT equivalent to the source network; " +
-                              cec.cex->to_string());
-        case CecVerdict::Inconclusive:
-            break;
-    }
-
-    // Degradation rung: the proof ran out of budget; fall back to the
-    // random-simulation verdict and record the reduced confidence.
-    StatusOr<bool> eq = simulate_verdict();
-    if (!eq.is_ok()) {
-        finish(StageState::Failed, eq.status().to_string());
-        Status bad = eq.status();
-        return bad.with_context(ctx);
-    }
-    if (!eq.value()) {
-        finish(StageState::Failed, "proof inconclusive and simulation found a miscompare");
-        return Status(StatusCode::InvariantViolation,
-                      ctx + ": proof inconclusive (" + cec.note +
-                          ") and random simulation found a miscompare");
-    }
-    finish(StageState::Degraded,
-           "proof inconclusive (" + cec.note + "); fell back to the random-simulation "
-               "verdict: no miscompare on " + std::to_string(opts.cec.sim_blocks) + " blocks");
-    return Status::ok();
+    });
 }
 
 StatusOr<FlowResult> run_backend_checked(const MappedNetlist& mapped, const Library& lib,
                                          const FlowOptions& opts,
                                          std::optional<PadsInRegion> pads,
                                          std::optional<std::vector<Point>> seed_positions) {
-    ThreadPool::global().resize(opts.threads);
-    StageBudget total(opts.budget.total_ms);
-    return backend_impl(mapped, lib, opts, std::move(pads), std::move(seed_positions),
-                        FlowDiagnostics{}, total.limited() ? &total : nullptr);
+    FlowDiagnostics diag;
+    FlowContext ctx(flow_label::kBackend, opts, diag);
+    StageExecutor exec(ctx);
+    return run_backend_stages(exec, mapped, lib, std::move(pads), std::move(seed_positions));
 }
 
 FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
@@ -378,53 +357,36 @@ StatusOr<FlowResult> run_baseline_flow_checked(const Network& net, const Library
     // Pipeline 1: map first (interconnect-blind), lay out afterwards. The
     // mapper cannot see pad locations — exactly the paper's remark that the
     // standard MIS pipeline "cannot make use of the location of pads".
-    ThreadPool::global().resize(opts.threads);
     FlowDiagnostics diag;
-    StageBudget total(opts.budget.total_ms);
-    StageBudget* totalp = total.limited() ? &total : nullptr;
+    FlowContext ctx(flow_label::kBaseline, opts, diag);
+    StageExecutor exec(ctx);
 
-    FlowClock::time_point t0 = FlowClock::now();
     std::optional<DecomposeResult> sub;
-    try {
-        sub = decompose(net, opts.decompose);
-    } catch (const std::exception& e) {
-        return Status(StatusCode::Unsupported, e.what())
-            .with_context("run_baseline_flow: decompose");
-    }
-    {
-        StageDiagnostics& dd = diag.stage("decompose");
-        dd.elapsed_ms = ms_since(t0);
-        dd.state = StageState::Ok;
-    }
-    LILY_RETURN_IF_ERROR(guarded_check(
-        [&] { verify_subject(opts.check, sub->graph, net, "run_baseline_flow: decompose"); }));
+    LILY_RETURN_IF_ERROR(run_decompose_stage(exec, net, sub));
 
-    t0 = FlowClock::now();
-    BaseMapperOptions base = opts.base;
-    base.objective = opts.objective;
-    base.mode = effective_cover(opts);
     std::optional<MapResult> res;
-    try {
-        res = BaseMapper(lib).map(sub->graph, base);
-    } catch (const std::exception& e) {
-        diag.stage("mapping").state = StageState::Failed;
-        return Status(StatusCode::Unsupported, e.what())
-            .with_context("run_baseline_flow: mapping");
-    }
-    {
-        StageDiagnostics& md = diag.stage("mapping");
-        md.elapsed_ms = ms_since(t0);
-        md.state = StageState::Ok;
-    }
+    Status mapped = exec.run(StageId::Mapping, [&](StageScope& s) -> Status {
+        BaseMapperOptions base = opts.base;
+        base.objective = opts.objective;
+        base.mode = effective_cover(opts);
+        try {
+            res = BaseMapper(lib).map(sub->graph, base);
+        } catch (const std::exception& e) {
+            s.failed();
+            return Status(StatusCode::Unsupported, e.what())
+                .with_context(ctx.context("mapping"));
+        }
+        s.ok();
+        return Status::ok();
+    });
+    LILY_RETURN_IF_ERROR(mapped);
     LILY_RETURN_IF_ERROR(guarded_check([&] {
         verify_chosen_matches(opts.check, lib, sub->graph, res->solution,
                               "run_baseline_flow: matches");
         verify_mapped(opts.check, lib, res->netlist, net, "run_baseline_flow: mapping");
     }));
-    LILY_RETURN_IF_ERROR(
-        run_verify_stage(net, lib, res->netlist, opts, diag, "run_baseline_flow"));
-    return backend_impl(res->netlist, lib, opts, std::nullopt, std::nullopt, std::move(diag),
-                        totalp);
+    LILY_RETURN_IF_ERROR(run_verify_stage(ctx, net, lib, res->netlist));
+    return run_backend_stages(exec, res->netlist, lib, std::nullopt, std::nullopt);
 }
 
 FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowOptions& opts) {
@@ -434,75 +396,70 @@ FlowResult run_baseline_flow(const Network& net, const Library& lib, const FlowO
 StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& lib,
                                            const FlowOptions& opts, FlowCapture* capture) {
     // Pipeline 2: pads first, then placement-coupled mapping.
-    ThreadPool::global().resize(opts.threads);
     FlowDiagnostics diag;
-    StageBudget total(opts.budget.total_ms);
-    StageBudget* totalp = total.limited() ? &total : nullptr;
+    FlowContext ctx(flow_label::kLily, opts, diag);
+    StageExecutor exec(ctx);
 
-    FlowClock::time_point t0 = FlowClock::now();
     std::optional<DecomposeResult> sub;
-    try {
-        sub = decompose(net, opts.decompose);
-    } catch (const std::exception& e) {
-        return Status(StatusCode::Unsupported, e.what()).with_context("run_lily_flow: decompose");
-    }
-    {
-        StageDiagnostics& dd = diag.stage("decompose");
-        dd.elapsed_ms = ms_since(t0);
-        dd.state = StageState::Ok;
-    }
-    LILY_RETURN_IF_ERROR(guarded_check(
-        [&] { verify_subject(opts.check, sub->graph, net, "run_lily_flow: decompose"); }));
+    LILY_RETURN_IF_ERROR(run_decompose_stage(exec, net, sub));
 
-    t0 = FlowClock::now();
-    LilyOptions lily = opts.lily;
-    lily.objective = opts.objective;
-    lily.cover = effective_cover(opts);
-    StageBudget map_budget = derive_stage_budget(opts.budget.mapping_ms, totalp);
-    if (lily.budget == nullptr && map_budget.limited()) lily.budget = &map_budget;
-    LilyMapper mapper(lib);
-    StatusOr<LilyResult> mapped = mapper.map_checked(sub->graph, lily);
-
-    if (!mapped.is_ok()) {
-        // ---- Ladder rung: the layout-driven mapping could not finish
-        // (placement divergence, matcher dead end). Fall back to the
-        // wire-blind baseline mapping of the same subject graph — the flow
-        // still delivers a correct netlist, just without layout-driven
-        // covers, and the diagnostics say so.
-        StageDiagnostics& md = diag.stage("mapping");
-        md.elapsed_ms = ms_since(t0);
-        if (!opts.recovery.allow_baseline_fallback) {
-            md.state = StageState::Failed;
-            Status bad = mapped.status();
-            return bad.with_context("run_lily_flow: mapping");
+    // ---- Mapping stage, with the baseline-fallback rung of the ladder:
+    // when the layout-driven mapping cannot finish (placement divergence,
+    // matcher dead end), fall back to the wire-blind baseline mapping of
+    // the same subject graph — the flow still delivers a correct netlist,
+    // just without layout-driven covers, and the diagnostics say so.
+    StatusOr<LilyResult> mapped = Status(StatusCode::Internal, "mapping stage never ran");
+    std::optional<MapResult> fallback;
+    Status map_status = exec.run(StageId::Mapping, [&](StageScope& s) -> Status {
+        LilyOptions lily = opts.lily;
+        lily.objective = opts.objective;
+        lily.cover = effective_cover(opts);
+        StageBudget& map_budget = s.budget();
+        if (lily.budget == nullptr && map_budget.limited()) lily.budget = &map_budget;
+        LilyMapper mapper(lib);
+        mapped = mapper.map_checked(sub->graph, lily);
+        if (!mapped.is_ok()) {
+            if (!s.rung("baseline-fallback")) {
+                s.failed();
+                Status bad = mapped.status();
+                return bad.with_context(ctx.context("mapping"));
+            }
+            s.recovered(mapped.status().to_string() +
+                        "; fell back to wire-blind baseline mapping");
+            ++s.diag().retries;
+            BaseMapperOptions base = opts.base;
+            base.objective = opts.objective;
+            base.mode = effective_cover(opts);
+            try {
+                fallback = BaseMapper(lib).map(sub->graph, base);
+            } catch (const std::exception& e) {
+                s.failed();
+                return Status(StatusCode::Unsupported, e.what())
+                    .with_context(ctx.context("baseline fallback"));
+            }
+            return Status::ok();
         }
-        md.state = StageState::Recovered;
-        md.note = mapped.status().to_string() + "; fell back to wire-blind baseline mapping";
-        ++md.retries;
-
-        t0 = FlowClock::now();
-        BaseMapperOptions base = opts.base;
-        base.objective = opts.objective;
-        base.mode = effective_cover(opts);
-        std::optional<MapResult> fallback;
-        try {
-            fallback = BaseMapper(lib).map(sub->graph, base);
-        } catch (const std::exception& e) {
-            md.state = StageState::Failed;
-            return Status(StatusCode::Unsupported, e.what())
-                .with_context("run_lily_flow: baseline fallback");
+        const LilyResult& res = mapped.value();
+        if (res.budget_exhausted) {
+            s.degraded("mapping budget exhausted; " + std::to_string(res.degraded_nodes) +
+                       " nodes covered with base gates only (" + map_budget.describe() + ")");
+        } else {
+            s.ok();
         }
-        diag.stage("mapping").elapsed_ms += ms_since(t0);
+        return Status::ok();
+    });
+    LILY_RETURN_IF_ERROR(map_status);
+
+    if (fallback.has_value()) {
         LILY_RETURN_IF_ERROR(guarded_check([&] {
             verify_chosen_matches(opts.check, lib, sub->graph, fallback->solution,
                                   "run_lily_flow: fallback matches");
             verify_mapped(opts.check, lib, fallback->netlist, net,
                           "run_lily_flow: fallback mapping");
         }));
-        LILY_RETURN_IF_ERROR(
-            run_verify_stage(net, lib, fallback->netlist, opts, diag, "run_lily_flow"));
-        StatusOr<FlowResult> out = backend_impl(fallback->netlist, lib, opts, std::nullopt,
-                                                std::nullopt, std::move(diag), totalp, capture);
+        LILY_RETURN_IF_ERROR(run_verify_stage(ctx, net, lib, fallback->netlist));
+        StatusOr<FlowResult> out = run_backend_stages(exec, fallback->netlist, lib,
+                                                      std::nullopt, std::nullopt, capture);
         if (out.is_ok() && capture != nullptr) {
             capture->subject = std::move(*sub);
             capture->lily = LilyResult{};
@@ -512,17 +469,6 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
     }
 
     const LilyResult& res = mapped.value();
-    {
-        StageDiagnostics& md = diag.stage("mapping");
-        md.elapsed_ms = ms_since(t0);
-        if (res.budget_exhausted) {
-            md.state = StageState::Degraded;
-            md.note = "mapping budget exhausted; " + std::to_string(res.degraded_nodes) +
-                      " nodes covered with base gates only (" + map_budget.describe() + ")";
-        } else {
-            md.state = StageState::Ok;
-        }
-    }
     LILY_RETURN_IF_ERROR(guarded_check([&] {
         verify_chosen_matches(opts.check, lib, sub->graph, res.solution,
                               "run_lily_flow: matches");
@@ -541,14 +487,13 @@ StatusOr<FlowResult> run_lily_flow_checked(const Network& net, const Library& li
         }
     }));
 
-    LILY_RETURN_IF_ERROR(run_verify_stage(net, lib, res.netlist, opts, diag, "run_lily_flow"));
+    LILY_RETURN_IF_ERROR(run_verify_stage(ctx, net, lib, res.netlist));
 
     // Reuse the pre-mapping pad assignment for the back end; the pad ring
     // was chosen on the inchoate region, so pass that region for rescaling.
     PadsInRegion pads{res.pad_positions, res.inchoate_placement.region};
-    StatusOr<FlowResult> out = backend_impl(res.netlist, lib, opts, std::move(pads),
-                                            res.instance_positions, std::move(diag), totalp,
-                                            capture);
+    StatusOr<FlowResult> out = run_backend_stages(exec, res.netlist, lib, std::move(pads),
+                                                  res.instance_positions, capture);
     if (out.is_ok() && capture != nullptr) {
         capture->subject = std::move(*sub);
         capture->lily = std::move(mapped).value();
@@ -572,8 +517,9 @@ StatusOr<FlowResult> run_lily_flow_adaptive_checked(const Network& net, const Li
     }
     if (best.metrics.wirelength <= reference) return best;
 
-    // Section 5 remedy, generalized by RecoveryPolicy: re-run with the wire
-    // weight scaled down, keeping the best attempt.
+    // Section 5 remedy, generalized by RecoveryPolicy (the descriptor
+    // table's wire-weight-retry rung): re-run with the wire weight scaled
+    // down, keeping the best attempt.
     FlowOptions retry = opts;
     const std::size_t tries =
         std::min(opts.recovery.max_retries, opts.recovery.wire_weight_scale.size());
@@ -589,7 +535,7 @@ StatusOr<FlowResult> run_lily_flow_adaptive_checked(const Network& net, const Li
         if (best.metrics.wirelength <= reference) break;
     }
     if (attempted > 0) {
-        StageDiagnostics& ad = best.diagnostics.stage("adaptive");
+        StageDiagnostics& ad = best.diagnostics.stage(stage_name(StageId::Adaptive));
         ad.state = StageState::Degraded;
         ad.retries = attempted;
         ad.note = "wirelength above reference; re-mapped with reduced wire weights";
@@ -606,60 +552,60 @@ StatusOr<FlowResult> run_flow_from_files(const std::string& blif_path,
                                          const std::string& genlib_path,
                                          const FlowOptions& opts, FlowKind kind) {
     FlowDiagnostics diag;
+    FlowContext ctx(flow_label::kFromFiles, opts, diag);
+    StageExecutor exec(ctx);
 
-    FlowClock::time_point t0 = FlowClock::now();
-    StatusOr<Library> lib = read_genlib_file_checked(genlib_path);
-    {
-        StageDiagnostics& s = diag.stage("parse-genlib");
-        s.elapsed_ms = ms_since(t0);
-        if (!lib.is_ok()) {
-            s.state = StageState::Failed;
-            s.note = lib.status().to_string();
-            Status bad = lib.status();
-            return bad.with_context("run_flow_from_files");
+    std::optional<StatusOr<Library>> lib;
+    Status genlib_parsed = exec.run(StageId::ParseGenlib, [&](StageScope& s) -> Status {
+        lib.emplace(read_genlib_file_checked(genlib_path));
+        if (!lib->is_ok()) {
+            s.failed(lib->status().to_string());
+            Status bad = lib->status();
+            return bad.with_context(flow_label::kFromFiles);
         }
-        const auto& skipped = lib.value().skipped_gates();
+        const auto& skipped = lib->value().skipped_gates();
         if (!skipped.empty()) {
-            s.state = StageState::Degraded;
-            s.note = std::to_string(skipped.size()) + " gate(s) skipped:";
+            std::string note = std::to_string(skipped.size()) + " gate(s) skipped:";
             for (const Library::SkippedGate& g : skipped) {
-                s.note += " " + g.name + " (" + g.reason + ")";
+                note += " " + g.name + " (" + g.reason + ")";
             }
+            s.degraded(std::move(note));
         } else {
-            s.state = StageState::Ok;
+            s.ok();
         }
-    }
-    LILY_RETURN_IF_ERROR(guarded_check([&] { lib.value().validate(); })
+        return Status::ok();
+    });
+    LILY_RETURN_IF_ERROR(genlib_parsed);
+    LILY_RETURN_IF_ERROR(guarded_check([&] { lib->value().validate(); })
                              .with_context("run_flow_from_files: library validation"));
 
-    t0 = FlowClock::now();
-    StatusOr<Network> net = read_blif_file_checked(blif_path);
-    {
-        StageDiagnostics& s = diag.stage("parse-blif");
-        s.elapsed_ms = ms_since(t0);
-        if (!net.is_ok()) {
-            s.state = StageState::Failed;
-            s.note = net.status().to_string();
-            Status bad = net.status();
-            return bad.with_context("run_flow_from_files");
+    std::optional<StatusOr<Network>> net;
+    Status blif_parsed = exec.run(StageId::ParseBlif, [&](StageScope& s) -> Status {
+        net.emplace(read_blif_file_checked(blif_path));
+        if (!net->is_ok()) {
+            s.failed(net->status().to_string());
+            Status bad = net->status();
+            return bad.with_context(flow_label::kFromFiles);
         }
-        s.state = StageState::Ok;
-    }
+        s.ok();
+        return Status::ok();
+    });
+    LILY_RETURN_IF_ERROR(blif_parsed);
 
     StatusOr<FlowResult> result = [&]() -> StatusOr<FlowResult> {
         switch (kind) {
             case FlowKind::Baseline:
-                return run_baseline_flow_checked(net.value(), lib.value(), opts);
+                return run_baseline_flow_checked(net->value(), lib->value(), opts);
             case FlowKind::Adaptive:
-                return run_lily_flow_adaptive_checked(net.value(), lib.value(), opts);
+                return run_lily_flow_adaptive_checked(net->value(), lib->value(), opts);
             case FlowKind::Lily:
                 break;
         }
-        return run_lily_flow_checked(net.value(), lib.value(), opts);
+        return run_lily_flow_checked(net->value(), lib->value(), opts);
     }();
     if (!result.is_ok()) {
         Status bad = result.status();
-        return bad.with_context("run_flow_from_files");
+        return bad.with_context(flow_label::kFromFiles);
     }
     FlowResult out = std::move(result).value();
     // Prepend the parse stages so the record reads in pipeline order.

@@ -31,6 +31,8 @@
 
 namespace lily {
 
+class TraceSink;  // util/trace.hpp
+
 /// Unit conventions for paper-style reporting: gate areas are in units of
 /// 1000 um^2 (so 1 unit = 0.001 mm^2) and lengths in units of
 /// sqrt(0.001 mm^2) ~ 0.0316 mm.
@@ -112,6 +114,12 @@ struct FlowOptions {
     /// hardware concurrency when unset. All reductions are deterministic:
     /// results are bit-identical for every thread count.
     std::size_t threads = 0;
+    /// Structured trace sink the StageExecutor emits spans/counters into
+    /// (caller-owned; see util/trace.hpp). nullptr falls back to the
+    /// LILY_TRACE environment variable: when that names a file, each flow
+    /// appends its JSON-lines records there on completion. Tracing never
+    /// alters results.
+    TraceSink* trace = nullptr;
 };
 
 struct FlowMetrics {
@@ -211,18 +219,6 @@ struct PadsInRegion {
 FlowResult run_backend(const MappedNetlist& mapped, const Library& lib, const FlowOptions& opts,
                        std::optional<PadsInRegion> pads = std::nullopt,
                        std::optional<std::vector<Point>> seed_positions = std::nullopt);
-
-/// The verify stage shared by the batch and ECO entry points: check that
-/// `mapped` (through its library cell functions) computes the same function
-/// as `source`, honoring FlowOptions::verify (Off is a no-op). Outcomes land
-/// in `diag` under stage "verify": Ok on a proof or clean simulation,
-/// Degraded when a proof was inconclusive and the simulation fallback found
-/// no miscompare. A disagreement returns InvariantViolation carrying the
-/// counterexample (replayed through simulate_block). The verify:miscompare
-/// fault probe flips one gate function first, so tests can prove the
-/// refutation path stays live.
-Status run_verify_stage(const Network& source, const Library& lib, const MappedNetlist& mapped,
-                        const FlowOptions& opts, FlowDiagnostics& diag, const char* context);
 
 /// Status form of run_backend (diagnostics carried on the result).
 StatusOr<FlowResult> run_backend_checked(

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "flow/report.hpp"
+#include "flow/stage.hpp"
 #include "library/library.hpp"
 #include "netlist/blif.hpp"
 #include "util/crash.hpp"
@@ -255,6 +257,15 @@ FlowOptions options_for(const JobSpec& spec) {
     return opts;
 }
 
+/// Flatten executed stages into the outcome's timing list (NotRun entries
+/// are placeholders from scopes whose flow errored out elsewhere — skip).
+void append_stage_times(const FlowDiagnostics& diag, std::vector<StageTime>& out) {
+    for (const StageDiagnostics& s : diag.stages) {
+        if (s.state == StageState::NotRun) continue;
+        out.push_back(StageTime{s.name, s.elapsed_ms});
+    }
+}
+
 }  // namespace
 
 JobOutcome run_flow_job(const JobSpec& spec) {
@@ -264,25 +275,54 @@ JobOutcome run_flow_job(const JobSpec& spec) {
             .count();
     };
 
+    // The job's own context covers the parse stages; the nested checked
+    // flow runs under its own. Both contribute to stage_times so the
+    // server's latency breakdown sees cache-hit parses as ~0 ms stages
+    // rather than not at all.
+    const FlowOptions opts = options_for(spec);
+    FlowDiagnostics job_diag;
+    FlowContext ctx(flow_label::kJob, opts, job_diag);
+    StageExecutor exec(ctx);
+
     crash_set_stage("parse");
     CacheProbe blif_probe = CacheProbe::Skipped;
     CacheProbe genlib_probe = CacheProbe::Skipped;
     ArtifactCache& cache = ArtifactCache::instance();
-    StatusOr<std::shared_ptr<const Network>> net = cache.network_for(spec.blif, &blif_probe);
-    if (!net.is_ok()) {
-        return error_outcome(spec, Status(net.status()).with_context("job " + spec.name),
-                             elapsed(), blif_probe, genlib_probe);
+    std::optional<StatusOr<std::shared_ptr<const Network>>> net;
+    exec.run(StageId::ParseBlif, [&](StageScope& s) {
+        net.emplace(cache.network_for(spec.blif, &blif_probe));
+        if (net->is_ok()) {
+            s.ok();
+        } else {
+            s.failed(net->status().message());
+        }
+    });
+    if (!net->is_ok()) {
+        JobOutcome out =
+            error_outcome(spec, Status(net->status()).with_context("job " + spec.name),
+                          elapsed(), blif_probe, genlib_probe);
+        append_stage_times(job_diag, out.stage_times);
+        return out;
     }
-    StatusOr<std::shared_ptr<const Library>> lib =
-        cache.library_for(spec.genlib, &genlib_probe);
-    if (!lib.is_ok()) {
-        return error_outcome(spec, Status(lib.status()).with_context("job " + spec.name),
-                             elapsed(), blif_probe, genlib_probe);
+    std::optional<StatusOr<std::shared_ptr<const Library>>> lib;
+    exec.run(StageId::ParseGenlib, [&](StageScope& s) {
+        lib.emplace(cache.library_for(spec.genlib, &genlib_probe));
+        if (lib->is_ok()) {
+            s.ok();
+        } else {
+            s.failed(lib->status().message());
+        }
+    });
+    if (!lib->is_ok()) {
+        JobOutcome out =
+            error_outcome(spec, Status(lib->status()).with_context("job " + spec.name),
+                          elapsed(), blif_probe, genlib_probe);
+        append_stage_times(job_diag, out.stage_times);
+        return out;
     }
-    const Network& network = *net.value();
-    const Library& library = *lib.value();
+    const Network& network = *net->value();
+    const Library& library = *lib->value();
 
-    const FlowOptions opts = options_for(spec);
     crash_set_stage("flow");
     StatusOr<FlowResult> flow = [&]() -> StatusOr<FlowResult> {
         try {
@@ -303,8 +343,11 @@ JobOutcome run_flow_job(const JobSpec& spec) {
     }();
     crash_set_stage("result");
     if (!flow.is_ok()) {
-        return error_outcome(spec, Status(flow.status()).with_context("job " + spec.name),
-                             elapsed(), blif_probe, genlib_probe);
+        JobOutcome out =
+            error_outcome(spec, Status(flow.status()).with_context("job " + spec.name),
+                          elapsed(), blif_probe, genlib_probe);
+        append_stage_times(job_diag, out.stage_times);
+        return out;
     }
 
     const FlowResult& result = flow.value();
@@ -321,6 +364,8 @@ JobOutcome run_flow_job(const JobSpec& spec) {
     out.report_json =
         flow_report_json(Status::ok(), &result.diagnostics, &result.metrics);
     out.mapped_blif = write_blif(result.netlist.to_network(library, spec.name));
+    append_stage_times(job_diag, out.stage_times);
+    append_stage_times(result.diagnostics, out.stage_times);
     return out;
 }
 

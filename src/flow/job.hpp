@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "flow/flow.hpp"
 
@@ -82,6 +83,15 @@ enum class CacheProbe : std::uint8_t { Skipped = 0, Miss = 1, Hit = 2 };
 
 const char* to_string(CacheProbe probe);
 
+/// One executed stage's wall time, as stamped by the StageExecutor. The
+/// job's own parse stages come first (from the job context), then the
+/// selected flow's stages in execution order. The server aggregates these
+/// into per-stage latency percentiles (Stats "stage_timings").
+struct StageTime {
+    std::string name;
+    double elapsed_ms = 0.0;
+};
+
 /// Terminal result of one job execution. `report_json` is the shared
 /// machine-readable report (flow/report.hpp) the CLI's --json mode also
 /// emits; `mapped_blif` is the mapped netlist serialized through
@@ -102,6 +112,11 @@ struct JobOutcome {
     /// by a pooled worker). Lets tests prove recycle-after-N really caps
     /// worker lifetimes.
     std::uint32_t worker_job_seq = 0;
+    /// Per-stage wall times for every stage this attempt executed (parse
+    /// stages included, NotRun stages omitted). Timing telemetry only:
+    /// deliberately kept out of report_json, whose bytes are pinned by the
+    /// bit-identity gate.
+    std::vector<StageTime> stage_times;
     FlowMetrics metrics;
     std::string report_json;
     std::string mapped_blif;

@@ -1,6 +1,5 @@
 #include "flow/pipeline.hpp"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -8,42 +7,12 @@
 #include "check/match_checker.hpp"
 #include "check/placement_checker.hpp"
 #include "check/subject_checker.hpp"
+#include "flow/stage.hpp"
 #include "place/netlist_adapters.hpp"
-#include "util/fault.hpp"
-#include "util/parallel.hpp"
 
 namespace lily {
 
 namespace {
-
-using EcoClock = StageBudget::Clock;
-
-double ms_since(EcoClock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(EcoClock::now() - t0).count();
-}
-
-CoverMode effective_cover(const FlowOptions& opts) {
-    if (opts.cover.has_value()) return *opts.cover;
-    return opts.objective == MapObjective::Delay ? CoverMode::Cones : CoverMode::Trees;
-}
-
-Point rescale(const Point& p, const Rect& from, const Rect& to) {
-    const Point cf = from.center();
-    const Point ct = to.center();
-    const double sx = to.width() / std::max(from.width(), 1e-12);
-    const double sy = to.height() / std::max(from.height(), 1e-12);
-    return {ct.x + (p.x - cf.x) * sx, ct.y + (p.y - cf.y) * sy};
-}
-
-template <typename F>
-Status guarded_check(F&& body) {
-    try {
-        body();
-    } catch (const std::exception& e) {
-        return Status(StatusCode::InvariantViolation, e.what());
-    }
-    return Status::ok();
-}
 
 /// Run the batch flow with a capture and repopulate every stage artifact.
 /// Used by build_pipeline and by every full-reflow rung of the ECO path, so
@@ -82,7 +51,7 @@ StatusOr<EcoStats> full_reflow(PipelineState& state, EcoStats stats, std::string
     stats.subject_nodes_after = state.subject.graph.size();
     stats.total_cells = state.flow.netlist.gate_count();
     stats.diagnostics = state.flow.diagnostics;
-    StageDiagnostics& ed = stats.diagnostics.stage("eco");
+    StageDiagnostics& ed = stats.diagnostics.stage(stage_name(StageId::Eco));
     ed.state = how;
     ed.note = std::move(reason);
     return stats;
@@ -105,7 +74,9 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
         return Status(StatusCode::InvariantViolation,
                       "run_eco_flow: pipeline state not built (call build_pipeline first)");
     }
-    ThreadPool::global().resize(state.opts.threads);
+    FlowDiagnostics diag;
+    FlowContext ctx(flow_label::kEco, state.opts, diag);
+    StageExecutor exec(ctx);
 
     // ---- Stale-artifact gate: every downstream artifact must reflect the
     // current network generation before the delta advances it. Runs
@@ -116,7 +87,7 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
         {"mapping", state.mapping_built_from, state.net.version()},
         {"backend", state.backend_built_from, state.net.version()},
     };
-    if (fault_enabled("eco", "stale-epoch")) {
+    if (ctx.fault(StageId::Eco, "stale-epoch")) {
         records[1].built_from -= 1;  // mapping now trails the subject epoch
     }
     const CheckReport stale = PipelineChecker{}.check(records);
@@ -130,7 +101,7 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
         stats.version = state.net.version();
         stats.total_cells = state.flow.netlist.gate_count();
         stats.reused_nodes = state.lily.reused_nodes + state.lily.remapped_nodes;
-        StageDiagnostics& ed = stats.diagnostics.stage("eco");
+        StageDiagnostics& ed = stats.diagnostics.stage(stage_name(StageId::Eco));
         ed.state = StageState::Ok;
         ed.note = "empty delta; every artifact reused";
         return stats;
@@ -155,42 +126,41 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
                            StageState::Recovered);
     }
 
-    FlowDiagnostics diag;
-
     // ---- Subject stage: re-derive only the dirty source cones; structural
-    // hashing folds unchanged logic back onto existing subject nodes.
-    EcoClock::time_point t0 = EcoClock::now();
-    stats.subject_nodes_before = state.subject.graph.size();
+    // hashing folds unchanged logic back onto existing subject nodes. An
+    // incremental failure climbs the full-reflow rung instead of erroring.
+    std::optional<std::string> reflow_reason;
     IncrementalDecomposeStats dstats;
-    try {
-        dstats = decompose_incremental(state.net, applied.touched, state.subject,
-                                       state.opts.decompose);
-    } catch (const std::exception& e) {
-        return full_reflow(state, std::move(stats),
-                           std::string("incremental decompose failed: ") + e.what(),
+    exec.run(StageId::EcoSubject, [&](StageScope& s) {
+        stats.subject_nodes_before = state.subject.graph.size();
+        try {
+            dstats = decompose_incremental(state.net, applied.touched, state.subject,
+                                           state.opts.decompose);
+        } catch (const std::exception& e) {
+            reflow_reason = std::string("incremental decompose failed: ") + e.what();
+            return;
+        }
+        stats.subject_dirty_sources = dstats.dirty_sources;
+        stats.subject_nodes_after = dstats.nodes_after;
+        state.subject_built_from = state.net.version();
+        s.ok(std::to_string(dstats.dirty_sources) + " dirty source cone(s); " +
+             std::to_string(dstats.nodes_after - dstats.nodes_before) +
+             " subject node(s) appended, " + std::to_string(dstats.nodes_before) +
+             " reused (reuse " +
+             std::to_string(dstats.nodes_after == 0
+                                ? 0.0
+                                : static_cast<double>(dstats.nodes_before) /
+                                      static_cast<double>(dstats.nodes_after)) +
+             ")");
+    });
+    if (reflow_reason.has_value()) {
+        return full_reflow(state, std::move(stats), std::move(*reflow_reason),
                            StageState::Recovered);
     }
-    stats.subject_dirty_sources = dstats.dirty_sources;
-    stats.subject_nodes_after = dstats.nodes_after;
-    state.subject_built_from = state.net.version();
-    {
-        StageDiagnostics& sd = diag.stage("eco-subject");
-        sd.elapsed_ms = ms_since(t0);
-        sd.state = StageState::Ok;
-        sd.note = std::to_string(dstats.dirty_sources) + " dirty source cone(s); " +
-                  std::to_string(dstats.nodes_after - dstats.nodes_before) +
-                  " subject node(s) appended, " + std::to_string(dstats.nodes_before) +
-                  " reused (reuse " +
-                  std::to_string(dstats.nodes_after == 0
-                                     ? 0.0
-                                     : static_cast<double>(dstats.nodes_before) /
-                                           static_cast<double>(dstats.nodes_after)) +
-                  ")";
-    }
-    if (state.opts.check != CheckLevel::Off) {
+    if (ctx.checks_enabled()) {
         LILY_RETURN_IF_ERROR(guarded_check([&] {
             const SubjectChecker checker;
-            (state.opts.check == CheckLevel::Paranoid
+            (ctx.check() == CheckLevel::Paranoid
                  ? checker.check_against_source(state.subject.graph, state.net)
                  : checker.check(state.subject.graph))
                 .throw_if_errors("run_eco_flow: incremental decompose");
@@ -198,33 +168,39 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
     }
 
     // ---- Mapping stage: cone-scoped DP over the dirty cones only.
-    t0 = EcoClock::now();
-    LilyOptions lily = state.opts.lily;
-    lily.objective = state.opts.objective;
-    lily.cover = effective_cover(state.opts);
-    const LilyRemapSeed seed{&state.lily, state.subject_size_at_map};
-    StatusOr<LilyResult> remapped =
-        LilyMapper(*state.lib).remap_checked(state.subject.graph, seed, lily);
-    if (!remapped.is_ok()) {
-        return full_reflow(state, std::move(stats),
-                           "cone-scoped remap failed (" + remapped.status().to_string() +
-                               "); fell back to full reflow",
+    LilyResult res;
+    exec.run(StageId::EcoMapping, [&](StageScope& s) {
+        LilyOptions lily = state.opts.lily;
+        lily.objective = state.opts.objective;
+        lily.cover = effective_cover(state.opts);
+        const LilyRemapSeed seed{&state.lily, state.subject_size_at_map};
+        StatusOr<LilyResult> remapped =
+            LilyMapper(*state.lib).remap_checked(state.subject.graph, seed, lily);
+        if (!remapped.is_ok()) {
+            reflow_reason = "cone-scoped remap failed (" + remapped.status().to_string() +
+                            "); fell back to full reflow";
+            return;
+        }
+        res = std::move(remapped).value();
+        stats.remapped_nodes = res.remapped_nodes;
+        stats.reused_nodes = res.reused_nodes;
+        const std::string note = std::to_string(res.remapped_nodes) + " node(s) re-solved, " +
+                                 std::to_string(res.reused_nodes) +
+                                 " DP solution(s) reused (reuse " +
+                                 std::to_string(stats.map_reuse_ratio()) + ")";
+        if (res.budget_exhausted) {
+            s.degraded(note);
+        } else {
+            s.ok(note);
+        }
+    });
+    if (reflow_reason.has_value()) {
+        return full_reflow(state, std::move(stats), std::move(*reflow_reason),
                            StageState::Recovered);
     }
-    LilyResult res = std::move(remapped).value();
-    stats.remapped_nodes = res.remapped_nodes;
-    stats.reused_nodes = res.reused_nodes;
-    {
-        StageDiagnostics& md = diag.stage("eco-mapping");
-        md.elapsed_ms = ms_since(t0);
-        md.state = res.budget_exhausted ? StageState::Degraded : StageState::Ok;
-        md.note = std::to_string(res.remapped_nodes) + " node(s) re-solved, " +
-                  std::to_string(res.reused_nodes) + " DP solution(s) reused (reuse " +
-                  std::to_string(stats.map_reuse_ratio()) + ")";
-    }
-    if (state.opts.check != CheckLevel::Off) {
+    if (ctx.checks_enabled()) {
         LILY_RETURN_IF_ERROR(guarded_check([&] {
-            if (state.opts.check == CheckLevel::Paranoid) {
+            if (ctx.check() == CheckLevel::Paranoid) {
                 const MatchChecker mc(*state.lib);
                 CheckReport rep;
                 for (const LilyNodeSolution& s : res.solution) {
@@ -233,15 +209,14 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
                 rep.throw_if_errors("run_eco_flow: remap matches");
             }
             const MappedChecker mc(*state.lib);
-            (state.opts.check == CheckLevel::Paranoid ? mc.check_against(res.netlist, state.net)
-                                                      : mc.check(res.netlist))
+            (ctx.check() == CheckLevel::Paranoid ? mc.check_against(res.netlist, state.net)
+                                                 : mc.check(res.netlist))
                 .throw_if_errors("run_eco_flow: remap");
         }));
     }
 
     // ---- Backend: keep the floorplan (region and pad ring) and re-solve
     // only the cells whose instance changed; everything else is anchored.
-    t0 = EcoClock::now();
     MappedPlacementView view = make_placement_view(res.netlist, *state.lib);
     const Rect region = state.flow.region;
 
@@ -282,104 +257,97 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
         } else {
             dirty.push_back(i);
             positions[i] =
-                rescale(res.instance_positions[i], res.inchoate_placement.region, region);
+                rescale_point(res.instance_positions[i], res.inchoate_placement.region, region);
         }
     }
 
-    // Incremental HPWL bookkeeping: measure once on the seeded positions,
-    // then re-measure only the nets the local re-solve touched.
-    HpwlCache hpwl = build_hpwl_cache(view.netlist, positions);
-    const double hpwl_seeded = hpwl.total;
-
-    const IncrementalPlacement placed =
-        place_incremental(view.netlist, region, positions, dirty, state.opts.lily.placement);
-    const std::size_t nets_patched = update_hpwl(view.netlist, positions, dirty, hpwl);
-    stats.placed_cells = placed.solved_cells;
-    stats.total_cells = view.netlist.n_cells;
-
-    // Incremental legalization: clean cells stay pinned in their prior rows
-    // (prior row geometry captured from the batch run); only the rows that
-    // receive a dirty cell are re-packed. The intra-row polish pass is
-    // skipped on purpose — it would shuffle clean rows and destroy the
-    // position equality the timing splice keys on. Two cases take the full
-    // legalize+polish path instead: an unusable prior row structure, and a
-    // mostly-dirty netlist (over half the cells changed) — there pinning the
-    // few clean survivors just jams dirty cells into overfull rows, and the
-    // congested placement costs more in routing than the polish pass saves.
     DetailedPlacement detailed;
-    IncrementalLegalization legal;
-    const DetailedPlacement& pdp = state.detailed;
-    const bool mostly_dirty = dirty.size() * 2 > view.netlist.n_cells;
-    if (!mostly_dirty && pdp.n_rows > 0 && pdp.row_of.size() == prior.gates.size()) {
-        detailed.region = region;
-        detailed.row_height = pdp.row_height;
-        detailed.n_rows = pdp.n_rows;
-        detailed.positions = positions;
-        detailed.row_of.assign(view.netlist.n_cells, 0);
-        for (std::size_t i = 0; i < view.netlist.n_cells; ++i) {
-            if (prior_of[i] != MappedNetlist::npos) detailed.row_of[i] = pdp.row_of[prior_of[i]];
+    RouteResult routed;
+    exec.run(StageId::EcoPlacement, [&](StageScope& s) {
+        // Incremental HPWL bookkeeping: measure once on the seeded
+        // positions, then re-measure only the nets the local re-solve
+        // touched.
+        HpwlCache hpwl = build_hpwl_cache(view.netlist, positions);
+        const double hpwl_seeded = hpwl.total;
+
+        const IncrementalPlacement placed = place_incremental(
+            view.netlist, region, positions, dirty, state.opts.lily.placement);
+        const std::size_t nets_patched = update_hpwl(view.netlist, positions, dirty, hpwl);
+        stats.placed_cells = placed.solved_cells;
+        stats.total_cells = view.netlist.n_cells;
+
+        // Incremental legalization: clean cells stay pinned in their prior
+        // rows (prior row geometry captured from the batch run); only the
+        // rows that receive a dirty cell are re-packed. The intra-row polish
+        // pass is skipped on purpose — it would shuffle clean rows and
+        // destroy the position equality the timing splice keys on. Two cases
+        // take the full legalize+polish path instead: an unusable prior row
+        // structure, and a mostly-dirty netlist (over half the cells
+        // changed) — there pinning the few clean survivors just jams dirty
+        // cells into overfull rows, and the congested placement costs more
+        // in routing than the polish pass saves.
+        IncrementalLegalization legal;
+        const DetailedPlacement& pdp = state.detailed;
+        const bool mostly_dirty = dirty.size() * 2 > view.netlist.n_cells;
+        if (!mostly_dirty && pdp.n_rows > 0 && pdp.row_of.size() == prior.gates.size()) {
+            detailed.region = region;
+            detailed.row_height = pdp.row_height;
+            detailed.n_rows = pdp.n_rows;
+            detailed.positions = positions;
+            detailed.row_of.assign(view.netlist.n_cells, 0);
+            for (std::size_t i = 0; i < view.netlist.n_cells; ++i) {
+                if (prior_of[i] != MappedNetlist::npos) {
+                    detailed.row_of[i] = pdp.row_of[prior_of[i]];
+                }
+            }
+            legal = legalize_rows_incremental(view.netlist, dirty, detailed);
+        } else {
+            GlobalPlacement global;
+            global.positions = positions;
+            global.region = region;
+            detailed = legalize_rows(view.netlist, global);
+            improve_rows(view.netlist, detailed);
+            legal.repacked_rows = detailed.n_rows;
+            legal.moved_cells = view.netlist.n_cells;
         }
-        legal = legalize_rows_incremental(view.netlist, dirty, detailed);
-    } else {
-        GlobalPlacement global;
-        global.positions = positions;
-        global.region = region;
-        detailed = legalize_rows(view.netlist, global);
-        improve_rows(view.netlist, detailed);
-        legal.repacked_rows = detailed.n_rows;
-        legal.moved_cells = view.netlist.n_cells;
-    }
-    {
-        StageDiagnostics& pd = diag.stage("eco-placement");
-        pd.elapsed_ms = ms_since(t0);
-        pd.state = StageState::Ok;
-        pd.note = std::to_string(placed.solved_cells) + " of " +
-                  std::to_string(view.netlist.n_cells) +
-                  " cell(s) re-solved locally (" + std::to_string(placed.cg_iterations) +
-                  " CG iterations); " + std::to_string(legal.repacked_rows) + " of " +
-                  std::to_string(detailed.n_rows) + " row(s) re-packed; HPWL " +
-                  std::to_string(hpwl_seeded) + " -> " + std::to_string(hpwl.total) +
-                  " re-measuring " + std::to_string(nets_patched) + " of " +
-                  std::to_string(view.netlist.nets.size()) + " nets";
-    }
+        s.ok(std::to_string(placed.solved_cells) + " of " +
+             std::to_string(view.netlist.n_cells) + " cell(s) re-solved locally (" +
+             std::to_string(placed.cg_iterations) + " CG iterations); " +
+             std::to_string(legal.repacked_rows) + " of " + std::to_string(detailed.n_rows) +
+             " row(s) re-packed; HPWL " + std::to_string(hpwl_seeded) + " -> " +
+             std::to_string(hpwl.total) + " re-measuring " + std::to_string(nets_patched) +
+             " of " + std::to_string(view.netlist.nets.size()) + " nets");
+    });
 
     // Incremental routing: connections whose endpoints did not move keep
     // their prior routes (clean nets reproduce identical MST connections, so
     // the diff is pure geometry); vanished routes are subtracted from the
     // congestion map and new connections routed against the patched map.
-    t0 = EcoClock::now();
-    const RouteResult routed = route_incremental(view.netlist, detailed.positions, region,
-                                                 state.routed, state.opts.router);
-    {
-        StageDiagnostics& rd = diag.stage("eco-routing");
-        rd.elapsed_ms = ms_since(t0);
-        rd.state = StageState::Ok;
-        rd.note = std::to_string(routed.kept_connections) + " connection(s) kept, " +
-                  std::to_string(routed.rerouted_connections) + " re-routed";
-    }
+    exec.run(StageId::EcoRouting, [&](StageScope& s) {
+        routed = route_incremental(view.netlist, detailed.positions, region, state.routed,
+                                   state.opts.router);
+        s.ok(std::to_string(routed.kept_connections) + " connection(s) kept, " +
+             std::to_string(routed.rerouted_connections) + " re-routed");
+    });
     const ChipAreaEstimate chip =
         estimate_chip_area(view.netlist.total_cell_area(), routed, state.opts.chip);
 
     // ---- Timing: splice prior arrivals wherever the fanin cone and the
     // placement context are unchanged; the equality cutoff stops change
     // propagation as soon as a recomputed arrival is bit-equal.
-    t0 = EcoClock::now();
-    const TimingSeed tseed{&prior, &state.timing, state.flow.final_positions};
-    TimingReport timing = analyze_timing_incremental(res.netlist, *state.lib, view,
-                                                     detailed.positions, tseed,
-                                                     state.opts.timing);
-    stats.timing_reused = timing.reused_arrivals;
-    stats.timing_recomputed = timing.recomputed_arrivals;
-    {
-        StageDiagnostics& td = diag.stage("eco-timing");
-        td.elapsed_ms = ms_since(t0);
-        td.state = StageState::Ok;
-        td.note = std::to_string(timing.reused_arrivals) + " arrival(s) spliced, " +
-                  std::to_string(timing.recomputed_arrivals) + " recomputed (reuse " +
-                  std::to_string(stats.timing_reuse_ratio()) + ")";
-    }
+    TimingReport timing;
+    exec.run(StageId::EcoTiming, [&](StageScope& s) {
+        const TimingSeed tseed{&prior, &state.timing, state.flow.final_positions};
+        timing = analyze_timing_incremental(res.netlist, *state.lib, view, detailed.positions,
+                                            tseed, state.opts.timing);
+        stats.timing_reused = timing.reused_arrivals;
+        stats.timing_recomputed = timing.recomputed_arrivals;
+        s.ok(std::to_string(timing.reused_arrivals) + " arrival(s) spliced, " +
+             std::to_string(timing.recomputed_arrivals) + " recomputed (reuse " +
+             std::to_string(stats.timing_reuse_ratio()) + ")");
+    });
 
-    if (state.opts.check != CheckLevel::Off) {
+    if (ctx.checks_enabled()) {
         LILY_RETURN_IF_ERROR(guarded_check([&] {
             const MappedChecker mapped_checker(*state.lib);
             const PlacementChecker placement_checker;
@@ -393,8 +361,7 @@ StatusOr<EcoStats> run_eco_flow_checked(PipelineState& state, const NetDelta& de
     // ---- Verify stage: the incrementally maintained netlist must match
     // the *edited* network — proven (not just simulated) at VerifyLevel
     // Prove, so an ECO splice bug cannot hide behind a lucky vector set.
-    LILY_RETURN_IF_ERROR(
-        run_verify_stage(state.net, *state.lib, res.netlist, state.opts, diag, "run_eco_flow"));
+    LILY_RETURN_IF_ERROR(run_verify_stage(ctx, state.net, *state.lib, res.netlist));
 
     // ---- Commit: artifacts and version stamps advance together so the
     // PipelineChecker sees a consistent generation on the next delta.

@@ -40,8 +40,46 @@ void write_flow_metrics(JsonWriter& w, const FlowMetrics& metrics) {
     w.end_object();
 }
 
+void write_trace(JsonWriter& w, const TraceSink& trace) {
+    w.begin_object();
+    w.key("flows").begin_array();
+    for (const TraceFlow& f : trace.flows()) {
+        w.begin_object();
+        w.kv("id", f.id);
+        w.kv("name", f.name);
+        w.kv("elapsed_ms", f.elapsed_ms);
+        w.kv("closed", f.closed);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("spans").begin_array();
+    for (const TraceSpan& s : trace.spans()) {
+        w.begin_object();
+        w.kv("flow", s.flow_id);
+        w.kv("name", s.name);
+        w.kv("depth", s.depth);
+        w.kv("elapsed_ms", s.elapsed_ms);
+        w.kv("state", s.state);
+        w.kv("retries", s.retries);
+        if (!s.note.empty()) w.kv("note", s.note);
+        w.kv("closed", s.closed);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("counters").begin_array();
+    for (const TraceCounter& c : trace.counters()) {
+        w.begin_object();
+        w.kv("name", c.name);
+        w.kv("value", c.value);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
 std::string flow_report_json(const Status& status, const FlowDiagnostics* diag,
-                             const FlowMetrics* metrics, const CheckReport* check) {
+                             const FlowMetrics* metrics, const CheckReport* check,
+                             const TraceSink* trace) {
     JsonWriter w;
     w.begin_object();
     w.key("status").begin_object();
@@ -61,6 +99,10 @@ std::string flow_report_json(const Status& status, const FlowDiagnostics* diag,
     if (check != nullptr) {
         w.key("check");
         write_check_report(w, *check);
+    }
+    if (trace != nullptr) {
+        w.key("trace");
+        write_trace(w, *trace);
     }
     w.end_object();
     return w.str();

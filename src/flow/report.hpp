@@ -12,6 +12,7 @@
 #include "flow/flow.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
+#include "util/trace.hpp"
 
 namespace lily {
 
@@ -26,13 +27,25 @@ void write_flow_diagnostics(JsonWriter& w, const FlowDiagnostics& diag);
 /// Append the flow metrics object.
 void write_flow_metrics(JsonWriter& w, const FlowMetrics& metrics);
 
+/// Append the executor's trace as an object:
+///   {"flows":    [{"id","name","elapsed_ms","closed"}, ...],
+///    "spans":    [{"flow","name","depth","elapsed_ms","state","retries",
+///                  "note"?,"closed"}, ...],
+///    "counters": [{"name","value"}, ...]}
+/// Span elapsed_ms carries the exact increment the executor added to the
+/// stage's FlowDiagnostics entry, so summing spans by name reproduces the
+/// "stages" elapsed figures bit-for-bit.
+void write_trace(JsonWriter& w, const TraceSink& trace);
+
 /// The complete report document:
 ///   {"status": {"code","ok","message"},
 ///    "degraded": bool,
 ///    "stages": [...],          (when diag != nullptr)
 ///    "metrics": {...},         (when metrics != nullptr)
-///    "check": [...]}           (when check != nullptr)
+///    "check": [...],           (when check != nullptr)
+///    "trace": {...}}           (when trace != nullptr)
 std::string flow_report_json(const Status& status, const FlowDiagnostics* diag,
-                             const FlowMetrics* metrics, const CheckReport* check = nullptr);
+                             const FlowMetrics* metrics, const CheckReport* check = nullptr,
+                             const TraceSink* trace = nullptr);
 
 }  // namespace lily

@@ -270,6 +270,42 @@ int cmd_health(ServeClient& client) {
     return h.ok ? 0 : 1;
 }
 
+double json_number_field(const std::string& obj, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = obj.find(needle);
+    if (at == std::string::npos) return 0.0;
+    return std::atof(obj.c_str() + at + needle.size());
+}
+
+/// Human summary of the Stats "stage_timings" block, scraped from the
+/// compact JSON with a targeted scan (the CLI deliberately carries no JSON
+/// parser). Printed on stderr so stdout stays pure machine-parseable JSON.
+void print_stage_timings(const std::string& json) {
+    const std::string key = "\"stage_timings\":{";
+    const std::size_t block = json.find(key);
+    if (block == std::string::npos) return;
+    std::size_t pos = block + key.size();
+    bool header = false;
+    while (pos < json.size() && json[pos] == '"') {
+        const std::size_t name_end = json.find('"', pos + 1);
+        if (name_end == std::string::npos) return;
+        const std::string name = json.substr(pos + 1, name_end - pos - 1);
+        const std::size_t obj_end = json.find('}', name_end);
+        if (obj_end == std::string::npos) return;
+        const std::string obj = json.substr(name_end, obj_end - name_end);
+        if (!header) {
+            std::fprintf(stderr, "lily_client: %-16s %10s %12s %12s\n", "stage", "count",
+                         "p50_ms", "p99_ms");
+            header = true;
+        }
+        std::fprintf(stderr, "lily_client: %-16s %10llu %12.3f %12.3f\n", name.c_str(),
+                     static_cast<unsigned long long>(json_number_field(obj, "count")),
+                     json_number_field(obj, "p50_ms"), json_number_field(obj, "p99_ms"));
+        pos = obj_end + 1;
+        if (pos < json.size() && json[pos] == ',') ++pos;
+    }
+}
+
 int cmd_stats(ServeClient& client) {
     const StatusOr<std::string> reply = client.stats();
     if (!reply.is_ok()) {
@@ -278,6 +314,7 @@ int cmd_stats(ServeClient& client) {
     }
     std::fputs(reply.value().c_str(), stdout);
     std::fputc('\n', stdout);
+    print_stage_timings(reply.value());
     return 0;
 }
 

@@ -246,6 +246,11 @@ std::string encode_job_outcome(const JobOutcome& outcome) {
     w.f64(outcome.metrics.max_congestion);
     w.str(outcome.report_json);
     w.str(outcome.mapped_blif);
+    w.u32(static_cast<std::uint32_t>(outcome.stage_times.size()));
+    for (const StageTime& st : outcome.stage_times) {
+        w.str(st.name);
+        w.f64(st.elapsed_ms);
+    }
     return w.take();
 }
 
@@ -266,6 +271,18 @@ bool decode_job_outcome(WireReader& r, JobOutcome& out) {
                     r.str(out.mapped_blif);
     if (!ok || state > 4 || code > 6 || tier > 1 || blif_cache > 2 || genlib_cache > 2) {
         return false;
+    }
+    std::uint32_t n_stages = 0;
+    if (!r.u32(n_stages)) return false;
+    // One attempt executes at most a handful of stages; a count beyond the
+    // table size only comes from a corrupt frame.
+    if (n_stages > 64) return false;
+    out.stage_times.clear();
+    out.stage_times.reserve(n_stages);
+    for (std::uint32_t i = 0; i < n_stages; ++i) {
+        StageTime st;
+        if (!r.str(st.name) || !r.f64(st.elapsed_ms)) return false;
+        out.stage_times.push_back(std::move(st));
     }
     out.state = static_cast<JobState>(state);
     out.status_code = static_cast<StatusCode>(code);

@@ -34,7 +34,9 @@ inline constexpr std::uint32_t kMaxPayload = 64u << 20;    // 64 MB sanity bound
 // v2: JobOutcome gained cache-probe diagnostics + worker job sequence;
 // HealthReply gained artifact-cache and pool-lifecycle counters; the
 // worker pipes gained JobDispatch (warm pool job hand-off).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+// v3: JobOutcome gained per-stage wall times (stage_times), the raw
+// samples behind the server's Stats "stage_timings" percentiles.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class MsgKind : std::uint16_t {
     // Requests.

@@ -31,7 +31,28 @@ double now_ms() {
         .count();
 }
 
+double stage_percentile(std::vector<double> samples, double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
 }  // namespace
+
+void ServeStats::record_stage_times(const std::vector<StageTime>& times) {
+    for (const StageTime& st : times) {
+        StageLatency& lat = stage_latency[st.name];
+        ++lat.count;
+        if (lat.ring.size() < kStageSampleCap) {
+            lat.ring.push_back(st.elapsed_ms);
+        } else {
+            lat.ring[lat.next] = st.elapsed_ms;
+            lat.next = (lat.next + 1) % kStageSampleCap;
+        }
+    }
+}
 
 std::string ServeStats::to_json() const {
     JsonWriter w;
@@ -52,6 +73,17 @@ std::string ServeStats::to_json() const {
     w.kv("cache_misses", cache_misses);
     w.kv("workers_recycled", workers_recycled);
     w.kv("workers_respawned", workers_respawned);
+    // {"<stage>": {"count","p50_ms","p99_ms"}}, stage names sorted — the
+    // daemon's answer to "where does job time go".
+    w.key("stage_timings").begin_object();
+    for (const auto& entry : stage_latency) {
+        w.key(entry.first).begin_object();
+        w.kv("count", entry.second.count);
+        w.kv("p50_ms", stage_percentile(entry.second.ring, 0.50));
+        w.kv("p99_ms", stage_percentile(entry.second.ring, 0.99));
+        w.end_object();
+    }
+    w.end_object();
     w.end_object();
     return w.str();
 }
@@ -594,6 +626,7 @@ void ServeServer::finish_job(Job& job, JobOutcome outcome) {
         outcome.state = JobState::Error;
     }
     job.outcome = std::move(outcome);
+    stats_.record_stage_times(job.outcome.stage_times);
     journal(job);
     switch (job.state) {
         case JobState::Ok: ++stats_.completed_ok; break;

@@ -75,6 +75,20 @@ struct ServeStats {
     std::uint64_t workers_recycled = 0;   // planned retirements (recycle-after)
     std::uint64_t workers_respawned = 0;  // unplanned deaths replaced
 
+    /// Per-stage latency aggregation, fed by the stage_times each terminal
+    /// outcome carries (protocol v3). A bounded ring of recent samples per
+    /// stage keeps memory flat while the all-time count keeps totals exact;
+    /// p50/p99 are computed over the ring at Stats time.
+    static constexpr std::size_t kStageSampleCap = 512;
+    struct StageLatency {
+        std::uint64_t count = 0;      // all-time executions of this stage
+        std::vector<double> ring;     // most recent samples, at most the cap
+        std::size_t next = 0;         // overwrite cursor once the ring is full
+    };
+    std::map<std::string, StageLatency> stage_latency;
+
+    void record_stage_times(const std::vector<StageTime>& times);
+
     std::string to_json() const;
 };
 

@@ -27,7 +27,8 @@ namespace lily {
 
 inline constexpr std::uint32_t kSpoolMagic = 0x4C53504Cu;  // "LSPL"
 // v2: records embed the v2 JobOutcome (cache probes + worker job seq).
-inline constexpr std::uint32_t kSpoolVersion = 2;
+// v3: records embed the v3 JobOutcome (per-stage wall times).
+inline constexpr std::uint32_t kSpoolVersion = 3;
 
 struct SpoolEntry {
     std::uint64_t id = 0;

@@ -1,0 +1,155 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace lily {
+
+double TraceSink::now_ms() const {
+    return std::chrono::duration<double, std::milli>(StageBudget::Clock::now() - epoch_)
+        .count();
+}
+
+std::uint64_t TraceSink::begin_flow(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceFlow f;
+    f.id = next_flow_id_++;
+    f.name = std::string(name);
+    f.start_ms = now_ms();
+    flows_.push_back(std::move(f));
+    flow_stack_.push_back(flows_.back().id);
+    return flows_.back().id;
+}
+
+void TraceSink::end_flow(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& f : flows_) {
+        if (f.id != id) continue;
+        f.elapsed_ms = now_ms() - f.start_ms;
+        f.closed = true;
+        break;
+    }
+    if (!flow_stack_.empty() && flow_stack_.back() == id) flow_stack_.pop_back();
+}
+
+std::size_t TraceSink::begin_span(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceSpan s;
+    s.flow_id = flow_stack_.empty() ? 0 : flow_stack_.back();
+    s.name = std::string(name);
+    s.depth = static_cast<int>(span_stack_.size()) + 1;
+    s.start_ms = now_ms();
+    spans_.push_back(std::move(s));
+    const std::size_t handle = spans_.size() - 1;
+    span_stack_.push_back(handle);
+    return handle;
+}
+
+void TraceSink::end_span(std::size_t handle, double elapsed_ms, std::string_view state,
+                         std::uint64_t retries, std::string_view note) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (handle >= spans_.size()) return;
+    TraceSpan& s = spans_[handle];
+    s.elapsed_ms = elapsed_ms;
+    s.state = std::string(state);
+    s.retries = retries;
+    s.note = std::string(note);
+    s.closed = true;
+    if (!span_stack_.empty() && span_stack_.back() == handle) span_stack_.pop_back();
+}
+
+void TraceSink::counter(std::string_view name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.push_back(TraceCounter{std::string(name), value});
+}
+
+std::vector<TraceFlow> TraceSink::flows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flows_;
+}
+
+std::vector<TraceSpan> TraceSink::spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::vector<TraceCounter> TraceSink::counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+bool TraceSink::all_closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& f : flows_)
+        if (!f.closed) return false;
+    for (const auto& s : spans_)
+        if (!s.closed) return false;
+    return true;
+}
+
+std::string TraceSink::to_jsonl() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto& f : flows_) {
+        JsonWriter w;
+        w.begin_object();
+        w.kv("type", "flow");
+        w.kv("id", f.id);
+        w.kv("name", f.name);
+        w.kv("start_ms", f.start_ms);
+        w.kv("elapsed_ms", f.elapsed_ms);
+        w.kv("closed", f.closed);
+        w.end_object();
+        out += w.str();
+        out += '\n';
+    }
+    for (const auto& s : spans_) {
+        JsonWriter w;
+        w.begin_object();
+        w.kv("type", "span");
+        w.kv("flow", s.flow_id);
+        w.kv("name", s.name);
+        w.kv("depth", s.depth);
+        w.kv("start_ms", s.start_ms);
+        w.kv("elapsed_ms", s.elapsed_ms);
+        w.kv("state", s.state);
+        w.kv("retries", s.retries);
+        w.kv("note", s.note);
+        w.kv("closed", s.closed);
+        w.end_object();
+        out += w.str();
+        out += '\n';
+    }
+    for (const auto& c : counters_) {
+        JsonWriter w;
+        w.begin_object();
+        w.kv("type", "counter");
+        w.kv("name", c.name);
+        w.kv("value", c.value);
+        w.end_object();
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+Status TraceSink::append_to_file(const std::string& path) const {
+    const std::string body = to_jsonl();
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out.good())
+        return Status(StatusCode::Internal, "cannot open trace file: " + path);
+    out << body;
+    out.flush();
+    if (!out.good()) return Status(StatusCode::Internal, "cannot write trace file: " + path);
+    return Status::ok();
+}
+
+std::string trace_path_from_env() {
+    const char* env = std::getenv("LILY_TRACE");
+    return (env == nullptr) ? std::string() : std::string(env);
+}
+
+}  // namespace lily

@@ -183,6 +183,8 @@ TEST(ServeMessages, JobOutcomeRoundTrip) {
     outcome.blif_cache = CacheProbe::Hit;
     outcome.genlib_cache = CacheProbe::Miss;
     outcome.worker_job_seq = 17;
+    outcome.stage_times.push_back(StageTime{"parse-blif", 0.125});
+    outcome.stage_times.push_back(StageTime{"mapping", 12.5});
     outcome.metrics.gate_count = 42;
     outcome.report_json = "{\"x\":1}";
     outcome.mapped_blif = ".model m\n.end\n";
@@ -200,6 +202,11 @@ TEST(ServeMessages, JobOutcomeRoundTrip) {
     EXPECT_EQ(out.blif_cache, CacheProbe::Hit);
     EXPECT_EQ(out.genlib_cache, CacheProbe::Miss);
     EXPECT_EQ(out.worker_job_seq, 17u);
+    ASSERT_EQ(out.stage_times.size(), 2u);
+    EXPECT_EQ(out.stage_times[0].name, "parse-blif");
+    EXPECT_EQ(out.stage_times[0].elapsed_ms, 0.125);
+    EXPECT_EQ(out.stage_times[1].name, "mapping");
+    EXPECT_EQ(out.stage_times[1].elapsed_ms, 12.5);
     EXPECT_EQ(out.metrics.gate_count, 42u);
     EXPECT_EQ(out.report_json, "{\"x\":1}");
     EXPECT_EQ(out.mapped_blif, ".model m\n.end\n");
