@@ -12,6 +12,10 @@ Checks (all hard failures):
   * per-stage span sums equal the report's per-stage elapsed_ms figures
     (the executor feeds the identical increment to both sides, so the
     match is exact up to float round-trip);
+  * memory counters (alloc_count.<stage> / alloc_bytes.<stage> /
+    rss_peak_kb.<stage>) reference known stages, are non-negative, and
+    arrive exactly one triple per span — the StageScope destructor emits
+    them together with the span close;
   * the report's embedded "trace" block agrees with the file dump.
 
 Exit code 0 on success, 1 on any violation.
@@ -36,7 +40,7 @@ def main():
     if not stages:
         fail("report carries no stages array")
 
-    flows, spans = [], []
+    flows, spans, counters = [], [], []
     with open(trace_path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -51,7 +55,9 @@ def main():
                 flows.append(rec)
             elif kind == "span":
                 spans.append(rec)
-            elif kind != "counter":
+            elif kind == "counter":
+                counters.append(rec)
+            else:
                 fail(f"line {lineno} has unknown record type {kind!r}")
     if not flows:
         fail("trace carries no flow records")
@@ -75,6 +81,29 @@ def main():
         if abs(total - want) > 1e-9 * max(1.0, abs(want)):
             fail(f"stage {name!r}: span sum {total!r} != report elapsed {want!r}")
 
+    # Memory counters: one alloc_count/alloc_bytes/rss_peak_kb triple per
+    # span, each naming a known stage, each value non-negative.
+    span_count = {}
+    for s in spans:
+        span_count[s["name"]] = span_count.get(s["name"], 0) + 1
+    mem_prefixes = ("alloc_count.", "alloc_bytes.", "rss_peak_kb.")
+    mem_count = {p: {} for p in mem_prefixes}
+    for c in counters:
+        name, value = c.get("name", ""), c.get("value", 0.0)
+        for p in mem_prefixes:
+            if not name.startswith(p):
+                continue
+            stage = name[len(p):]
+            if stage not in stages:
+                fail(f"counter {name!r} references unknown stage {stage!r}")
+            if value < 0:
+                fail(f"counter {name!r} is negative: {value!r}")
+            mem_count[p][stage] = mem_count[p].get(stage, 0) + 1
+    for p in mem_prefixes:
+        if mem_count[p] != span_count:
+            fail(f"{p}* counters per stage {mem_count[p]!r} do not match "
+                 f"span executions {span_count!r}")
+
     embedded = report.get("trace")
     if embedded is None:
         fail("report is missing its embedded trace block")
@@ -83,7 +112,8 @@ def main():
              f"file dump has {len(spans)}")
 
     print(f"check_trace: ok — {len(spans)} spans across {len(flows)} flows, "
-          f"{len(sums)} stages, sums consistent with diagnostics")
+          f"{len(sums)} stages, {len(counters)} counters, "
+          f"sums consistent with diagnostics")
 
 
 if __name__ == "__main__":

@@ -155,6 +155,18 @@ run build-ci-release/bench/perf_scaling --quick \
 echo "+ BENCH_perf.json:"
 cat BENCH_perf.json
 
+# Hot-path kernel microbenchmarks (SpMV, matcher walk, rectangle assembly,
+# DP scan). Exits non-zero when a warmed pooled kernel allocates — the
+# steady-state allocation-free contract of the CSR/arena layout.
+run build-ci-release/bench/kernels --quick --out=BENCH_kernels.json
+echo "+ BENCH_kernels.json:"
+cat BENCH_kernels.json
+
+# The CSR adjacency property tests must also hold under ASan+UBSan: the
+# frozen views are raw spans over pooled storage, exactly where a lifetime
+# bug would hide from the release build.
+run build-ci-sanitize/tests/csr_test
+
 # ---- Serving layer: chaos, load-shed, throughput -----------------------
 # The chaos harness floods a live daemon with a poisoned job mix (segv,
 # abort, oom, hang, wedge; sticky and retryable) and SIGKILLs the daemon

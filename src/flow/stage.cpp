@@ -173,6 +173,7 @@ StageScope::StageScope(FlowContext& ctx, StageId id)
     if (ctx_.trace() != nullptr) {
         span_ = ctx_.trace()->begin_span(stage_name(id_));
         traced_ = true;
+        alloc0_ = alloc_stats_snapshot();
     }
 }
 
@@ -184,6 +185,15 @@ StageScope::~StageScope() {
         // The identical increment goes to the span, so per-stage sums over
         // the trace equal the FlowDiagnostics elapsed exactly.
         ctx_.trace()->end_span(span_, dt, to_string(d.state), d.retries, d.note);
+        // Memory footprint of this execution: heap-allocation delta across
+        // the scope plus the process peak-RSS high-water mark at exit. One
+        // counter triple per span, so a trace consumer can pair them.
+        const AllocStats a1 = alloc_stats_snapshot();
+        const std::string stage = stage_name(id_);
+        TraceSink& sink = *ctx_.trace();
+        sink.counter("alloc_count." + stage, static_cast<double>(a1.count - alloc0_.count));
+        sink.counter("alloc_bytes." + stage, static_cast<double>(a1.bytes - alloc0_.bytes));
+        sink.counter("rss_peak_kb." + stage, static_cast<double>(peak_rss_bytes() / 1024));
     }
 }
 

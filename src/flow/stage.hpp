@@ -36,6 +36,7 @@
 #include <string_view>
 
 #include "flow/flow.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/trace.hpp"
 
 namespace lily {
@@ -220,6 +221,7 @@ private:
     bool budget_derived_ = false;
     std::size_t span_ = static_cast<std::size_t>(-1);
     bool traced_ = false;
+    AllocStats alloc0_;  // heap counters at entry, for the exit delta
 };
 
 /// The pass manager's run primitive: body(scope) under a StageScope. The

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -13,9 +14,34 @@ namespace lily {
 
 namespace {
 
+/// One candidate's evaluation, independent of every other candidate: a pure
+/// function of the (frozen) mapping state, so candidates can be scored in
+/// parallel. The winner is picked by a serial fold afterwards, in match
+/// order with the original tie-break, making the chosen match — and thus
+/// the whole mapping — identical for any thread count.
+struct CandEval {
+    bool valid = false;
+    double key = 0.0;
+    double gate_area = 0.0;  // tie-break
+    LilyNodeSolution cand;
+};
+
+/// Per-chunk working storage for the parallel candidate evaluation (one per
+/// kCandidateGrain chunk, indexed by begin/kCandidateGrain — chunk starts
+/// are grain-aligned). Holds every buffer a single evaluation needs, so the
+/// warmed DP scan allocates nothing per candidate.
+struct EvalScratch {
+    WireScratch wire;
+    MedianScratch median;
+    std::vector<Point> pts;
+    std::vector<Rect> rects;
+    std::vector<SubjectId> ins;  // distinct match inputs
+};
+
 /// Mutable mapping state shared by the per-cone passes.
 struct Ctx {
     const SubjectGraph& g;
+    const SubjectTopology& topo;  // frozen flat adjacency of g
     const Library& lib;
     const LilyOptions& opts;
     const Matcher& matcher;
@@ -50,12 +76,20 @@ struct Ctx {
     mutable std::uint32_t rect_epoch = 1;
     // Matcher buffers reused across every matches_at call of the DP.
     mutable MatchScratch match_scratch{};
+    // Pooled DP buffers: the match list is filled in place (recycled slots
+    // keep their inner vectors' capacity), evaluations land in recycled
+    // CandEval slots, and each evaluation chunk owns an EvalScratch. After
+    // the first few nodes warm the pools, solve_node allocates only for the
+    // chosen solution it writes into sol[v].
+    mutable std::vector<Match> match_pool{};
+    mutable std::vector<CandEval> eval_pool{};
+    mutable std::vector<EvalScratch> eval_scratch{};
 
     /// placePosition/mapPosition lookup per the paper's rules: hawks answer
     /// with their mapPosition, primary inputs with their pad, everything
     /// else with its placePosition.
     Point pos(SubjectId v) const {
-        if (g.node(v).kind == SubjectKind::Input) return place_pos[v];
+        if (topo.kind[v] == SubjectKind::Input) return place_pos[v];
         if (state[v] == LifeState::Hawk) return sol[v].position;
         return place_pos[v];
     }
@@ -69,7 +103,7 @@ void add_true_fanouts(const Ctx& ctx, SubjectId branch, std::vector<SubjectId>& 
     if (ctx.visit_mark[branch] == ctx.visit_epoch) return;
     ctx.visit_mark[branch] = ctx.visit_epoch;
     if (ctx.state[branch] == LifeState::Dove) {
-        for (const SubjectId f : ctx.g.node(branch).fanouts) {
+        for (const SubjectId f : ctx.topo.fanouts_of(branch)) {
             add_true_fanouts(ctx, f, out);
         }
     } else {
@@ -94,7 +128,7 @@ const std::vector<SubjectId>& true_fanouts(const Ctx& ctx, SubjectId stem) {
         ctx.visit_epoch = 0;
     }
     ++ctx.visit_epoch;
-    for (const SubjectId f : ctx.g.node(stem).fanouts) add_true_fanouts(ctx, f, out);
+    for (const SubjectId f : ctx.topo.fanouts_of(stem)) add_true_fanouts(ctx, f, out);
     ctx.tf_stamp[stem] = ctx.topo_epoch;
     return out;
 }
@@ -149,7 +183,7 @@ Rect fanin_rect(const Ctx& ctx, SubjectId vi, const Match& m) {
 /// the match (eggs, by DFS order) at their placePositions, plus PO pads.
 Rect fanout_rect(const Ctx& ctx, SubjectId v, const Match& m) {
     Rect r;
-    for (const SubjectId f : ctx.g.node(v).fanouts) {
+    for (const SubjectId f : ctx.topo.fanouts_of(v)) {
         if (is_covered_by(m, f)) continue;
         r.expand(ctx.place_pos[f]);
     }
@@ -157,61 +191,63 @@ Rect fanout_rect(const Ctx& ctx, SubjectId v, const Match& m) {
     return r;
 }
 
-std::vector<SubjectId> distinct_inputs(const Match& m) {
-    std::vector<SubjectId> ins(m.inputs.begin(), m.inputs.end());
+/// Distinct match inputs, sorted, into the caller's scratch buffer.
+void distinct_inputs(const Match& m, std::vector<SubjectId>& ins) {
+    ins.assign(m.inputs.begin(), m.inputs.end());
     std::sort(ins.begin(), ins.end());
     ins.erase(std::unique(ins.begin(), ins.end()), ins.end());
-    return ins;
 }
 
 /// Candidate gate position (Section 3.2).
-Point candidate_position(const Ctx& ctx, SubjectId v, const Match& m) {
+Point candidate_position(const Ctx& ctx, SubjectId v, const Match& m, EvalScratch& es) {
     if (ctx.opts.update == PositionUpdate::CMofMerged) {
-        std::vector<Point> pts;
-        pts.reserve(m.covered.size());
-        for (const SubjectId w : m.covered) pts.push_back(ctx.place_pos[w]);
-        return center_of_mass(pts);
+        es.pts.clear();
+        for (const SubjectId w : m.covered) es.pts.push_back(ctx.place_pos[w]);
+        return center_of_mass(es.pts);
     }
     // CM-of-Fans: minimize Manhattan distance to fanin + fanout rectangles.
-    std::vector<Rect> rects;
-    for (const SubjectId vi : distinct_inputs(m)) {
+    es.rects.clear();
+    distinct_inputs(m, es.ins);
+    for (const SubjectId vi : es.ins) {
         // Mapped inputs answer with mapPositions (depth-first order has
         // already decided them); the rectangle also folds in vi's other
         // true fanouts.
-        rects.push_back(fanin_rect(ctx, vi, m));
+        es.rects.push_back(fanin_rect(ctx, vi, m));
     }
     const Rect fo = fanout_rect(ctx, v, m);
-    if (!fo.empty()) rects.push_back(fo);
-    if (rects.empty()) {
-        std::vector<Point> pts;
-        for (const SubjectId w : m.covered) pts.push_back(ctx.place_pos[w]);
-        return center_of_mass(pts);
+    if (!fo.empty()) es.rects.push_back(fo);
+    if (es.rects.empty()) {
+        es.pts.clear();
+        for (const SubjectId w : m.covered) es.pts.push_back(ctx.place_pos[w]);
+        return center_of_mass(es.pts);
     }
-    return manhattan_median_of_rects(rects);
+    return manhattan_median_of_rects(es.rects, es.median);
 }
 
 /// Wire cost of connecting gate(m) at `p` to its fanins (Section 3.4): for
 /// each input net, the enclosing-rectangle half perimeter (Steiner-ratio
 /// corrected) or spanning-tree length over {fanin-rect nodes, p}, divided by
 /// the true fanout count to avoid duplicate accounting.
-double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p, WireScratch& wire) {
+double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p, EvalScratch& es) {
     double sum = 0.0;
-    for (const SubjectId vi : distinct_inputs(m)) {
-        std::vector<Point> pts;
-        pts.push_back(ctx.pos(vi));
+    distinct_inputs(m, es.ins);
+    for (const SubjectId vi : es.ins) {
+        es.pts.clear();
+        es.pts.push_back(ctx.pos(vi));
         std::size_t tf_count = 0;
         for (const SubjectId tf : true_fanouts(ctx, vi)) {
             ++tf_count;
             if (is_covered_by(m, tf)) continue;
-            pts.push_back(ctx.pos(tf));
+            es.pts.push_back(ctx.pos(tf));
         }
         for (const std::size_t pad : ctx.po_pads_of[vi]) {
-            pts.push_back(ctx.pad_pos[pad]);
+            es.pts.push_back(ctx.pad_pos[pad]);
             ++tf_count;
         }
-        pts.push_back(p);
+        es.pts.push_back(p);
         tf_count = std::max<std::size_t>(tf_count, 1);
-        sum += net_wirelength(pts, ctx.opts.wire_model, wire) / static_cast<double>(tf_count);
+        sum += net_wirelength(es.pts, ctx.opts.wire_model, es.wire) /
+               static_cast<double>(tf_count);
     }
     return sum;
 }
@@ -223,9 +259,9 @@ double local_wire_cost(const Ctx& ctx, const Match& m, const Point& p, WireScrat
 /// `p` describe the candidate match as an additional (certain) consumer of
 /// `vi`; pass nullptr when computing the candidate's own output load.
 double load_at(const Ctx& ctx, SubjectId vi, const Match* m, const Point* p,
-               std::size_t pin_of_vi_in_m) {
+               std::size_t pin_of_vi_in_m, std::vector<Point>& pts) {
     double c = 0.0;
-    std::vector<Point> pts;
+    pts.clear();
     pts.push_back(ctx.pos(vi));
     for (const SubjectId tf : true_fanouts(ctx, vi)) {
         if (m != nullptr && is_covered_by(*m, tf)) continue;  // folded into m
@@ -264,7 +300,7 @@ double load_at(const Ctx& ctx, SubjectId vi, const Match* m, const Point* p,
 /// Output arrival of the (already decided) gate at `vi` under a given load:
 /// max over block arrival times plus R_i * C_L (the split of Section 4.3).
 RiseFallPair arrival_under_load(const Ctx& ctx, SubjectId vi, double c_load) {
-    if (ctx.g.node(vi).kind == SubjectKind::Input) return {0.0, 0.0};
+    if (ctx.topo.kind[vi] == SubjectKind::Input) return {0.0, 0.0};
     const LilyNodeSolution& s = ctx.sol[vi];
     const Gate& gate = ctx.lib.gate(s.match.gate);
     RiseFallPair out{-1e300, -1e300};
@@ -280,7 +316,7 @@ RiseFallPair arrival_under_load(const Ctx& ctx, SubjectId vi, double c_load) {
 /// Serially fill every cache a candidate evaluation can read, so that the
 /// parallel evaluation below touches the caches read-only (a cold entry
 /// would otherwise race on the shared visit scratch / cache slots).
-void warm_caches(const Ctx& ctx, SubjectId v, const std::vector<Match>& matches) {
+void warm_caches(const Ctx& ctx, SubjectId v, std::span<const Match> matches) {
     true_fanouts(ctx, v);  // output-load walk in delay mode
     for (const Match& m : matches) {
         for (const SubjectId vi : m.inputs) {
@@ -290,30 +326,29 @@ void warm_caches(const Ctx& ctx, SubjectId v, const std::vector<Match>& matches)
     }
 }
 
-/// One candidate's evaluation, independent of every other candidate: a pure
-/// function of the (frozen) mapping state, so candidates can be scored in
-/// parallel. The winner is picked by a serial fold afterwards, in match
-/// order with the original tie-break, making the chosen match — and thus
-/// the whole mapping — identical for any thread count.
-struct CandEval {
-    bool valid = false;
-    double key = 0.0;
-    double gate_area = 0.0;  // tie-break
-    LilyNodeSolution cand;
-};
-
-CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool degraded,
-                            bool delay_mode, WireScratch& wire) {
-    CandEval out;
+/// Score one candidate into the recycled slot `out` (see CandEval). Every
+/// field the fold or the committed solution can read is written here; the
+/// stale `out.cand.match` from a previous node is cleared (capacity kept) so
+/// copying the winning slot into sol[v] stays cheap.
+void evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool degraded,
+                        bool delay_mode, EvalScratch& es, CandEval& out) {
     const Gate& gate = ctx.lib.gate(m.gate);
-    const Point p = degraded ? ctx.place_pos[v] : candidate_position(ctx, v, m);
+    const Point p = degraded ? ctx.place_pos[v] : candidate_position(ctx, v, m, es);
 
     LilyNodeSolution& cand = out.cand;
+    cand.match.gate = kNullGate;
+    cand.match.pattern_index = 0;
+    cand.match.inputs.clear();
+    cand.match.covered.clear();
+    cand.has_match = false;
     cand.position = p;
     double key;
     if (!delay_mode || degraded) {
+        cand.block.clear();
+        cand.arrival_rise = 0.0;
+        cand.arrival_fall = 0.0;
         cand.area_cost = gate.area;
-        cand.local_wire = degraded ? 0.0 : local_wire_cost(ctx, m, p, wire);
+        cand.local_wire = degraded ? 0.0 : local_wire_cost(ctx, m, p, es);
         cand.wire_cost = cand.local_wire;
         for (const SubjectId vi : m.inputs) {
             cand.area_cost += ctx.sol[vi].area_cost;
@@ -323,11 +358,13 @@ CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool de
         key = cand.cost;
     } else {
         // Section 4.4, steps 1-4.
+        cand.area_cost = 0.0;
+        cand.wire_cost = 0.0;
         cand.block.resize(m.inputs.size());
         for (std::size_t k = 0; k < m.inputs.size(); ++k) {
             const SubjectId vi = m.inputs[k];
             // 1: accurate arrival at vi with m as a known fanout.
-            const double c_vi = load_at(ctx, vi, &m, &p, k);
+            const double c_vi = load_at(ctx, vi, &m, &p, k, es.pts);
             const RiseFallPair t_vi = arrival_under_load(ctx, vi, c_vi);
             // 2: block arrival at gate(m) for pin k.
             const PinTiming& pin = gate.pin(k);
@@ -349,7 +386,7 @@ CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool de
         }
         // 3: output load from the inchoate fanouts of v. (The load model
         // uses the inchoate view, Section 4.3 — no match/point arguments.)
-        const double c_out = load_at(ctx, v, nullptr, nullptr, 0);
+        const double c_out = load_at(ctx, v, nullptr, nullptr, 0, es.pts);
         // 4: output arrival.
         cand.arrival_rise = -1e300;
         cand.arrival_fall = -1e300;
@@ -360,14 +397,13 @@ CandEval evaluate_candidate(const Ctx& ctx, SubjectId v, const Match& m, bool de
             cand.arrival_fall =
                 std::max(cand.arrival_fall, cand.block[k].fall + pin.fall_fanout * c_out);
         }
-        cand.local_wire = local_wire_cost(ctx, m, p, wire);
+        cand.local_wire = local_wire_cost(ctx, m, p, es);
         key = cand.worst_arrival();
         cand.cost = key;
     }
     out.key = key;
     out.gate_area = gate.area;
     out.valid = true;
-    return out;
 }
 
 /// Matches per evaluation chunk — fixed so the chunking (and therefore the
@@ -382,47 +418,58 @@ constexpr std::size_t kCandidateGrain = 2;
 /// the cone-scoped ECO remap. Unsupported when nothing matches.
 Status solve_node(Ctx& ctx, SubjectId v, bool degraded, bool delay_mode,
                   bool& matcher_fault_pending) {
-    auto matches = ctx.matcher.matches_at(ctx.g, v, ctx.match_scratch,
-                                          /*base_only=*/degraded);
+    std::size_t n_matches = ctx.matcher.matches_at(ctx.g, v, ctx.match_scratch,
+                                                   ctx.match_pool, /*base_only=*/degraded);
     if (matcher_fault_pending) {
-        matches.clear();
+        n_matches = 0;
         matcher_fault_pending = false;
     }
+    const std::span<const Match> matches(ctx.match_pool.data(), n_matches);
     if (!degraded) warm_caches(ctx, v, matches);
-    std::vector<CandEval> evals(matches.size());
+    if (ctx.eval_pool.size() < n_matches) ctx.eval_pool.resize(n_matches);
+    const std::size_t n_chunks = parallel_chunk_count(n_matches, kCandidateGrain);
+    if (ctx.eval_scratch.size() < n_chunks) ctx.eval_scratch.resize(n_chunks);
     parallel_for(
-        0, matches.size(),
+        0, n_matches,
         [&](std::size_t begin, std::size_t end) {
-            WireScratch wire;
+            // Chunk starts are grain-aligned, so begin / grain is a stable
+            // per-chunk index whatever thread picked the chunk up.
+            EvalScratch& es = ctx.eval_scratch[begin / kCandidateGrain];
             for (std::size_t i = begin; i < end; ++i) {
+                CandEval& e = ctx.eval_pool[i];
+                e.valid = false;
                 const Match& m = matches[i];
                 if (ctx.opts.cover == CoverMode::Trees && !legal_in_tree_mode(ctx.g, m)) {
                     continue;  // slot stays invalid
                 }
-                evals[i] = evaluate_candidate(ctx, v, m, degraded, delay_mode, wire);
+                evaluate_candidate(ctx, v, m, degraded, delay_mode, es, e);
             }
         },
         kCandidateGrain);
 
-    LilyNodeSolution best;
+    // Serial winner fold in match order (original tie-break: lower key,
+    // then smaller gate area among equal keys).
+    std::size_t best_i = n_matches;
     double best_key = std::numeric_limits<double>::max();
-    for (std::size_t i = 0; i < evals.size(); ++i) {
-        CandEval& e = evals[i];
+    double best_area = 0.0;
+    for (std::size_t i = 0; i < n_matches; ++i) {
+        const CandEval& e = ctx.eval_pool[i];
         if (!e.valid) continue;
         if (e.key < best_key ||
-            (e.key == best_key && best.has_match &&
-             e.gate_area < ctx.lib.gate(best.match.gate).area)) {
+            (e.key == best_key && best_i < n_matches && e.gate_area < best_area)) {
             best_key = e.key;
-            e.cand.match = std::move(matches[i]);
-            e.cand.has_match = true;
-            best = std::move(e.cand);
+            best_area = e.gate_area;
+            best_i = i;
         }
     }
-    if (!best.has_match) {
+    if (best_i == n_matches) {
         return Status(StatusCode::Unsupported,
                       "LilyMapper: no match at node " + ctx.g.name_of(v));
     }
-    ctx.sol[v] = std::move(best);
+    LilyNodeSolution& s = ctx.sol[v];
+    s = ctx.eval_pool[best_i].cand;  // match cleared in the slot: cheap copy
+    s.match = ctx.match_pool[best_i];
+    s.has_match = true;
     return Status::ok();
 }
 
@@ -517,6 +564,7 @@ StatusOr<LilyResult> LilyMapper::map_checked(
     }
 
     Ctx ctx{g,
+            g.topology(),  // freeze the flat adjacency before the DP starts
             *lib_,
             opts,
             matcher_,
@@ -653,6 +701,7 @@ StatusOr<LilyResult> LilyMapper::remap_checked(const SubjectGraph& g, const Lily
     view.netlist.pad_positions = pads;
 
     Ctx ctx{g,
+            g.topology(),  // freeze the flat adjacency before the DP starts
             *lib_,
             opts,
             matcher_,

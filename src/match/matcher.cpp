@@ -7,10 +7,12 @@ namespace lily {
 
 namespace {
 
-/// Recursive structural match of pattern node `p` against subject node `s`.
-/// `binding` maps pattern variables to subject nodes (kNullSubject = free);
-/// `undo` records variables bound along this branch so failures backtrack.
-bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, SubjectId s,
+/// Recursive structural match of pattern node `p` against subject node `s`,
+/// walking the frozen flat topology (kind/fanin arrays, no per-node vector
+/// chasing). `binding` maps pattern variables to subject nodes (kNullSubject
+/// = free); `undo` records variables bound along this branch so failures
+/// backtrack.
+bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectTopology& t, SubjectId s,
                std::vector<SubjectId>& binding, std::vector<unsigned>& undo,
                std::vector<SubjectId>& covered) {
     const PatternNode& pn = pat.nodes[static_cast<std::size_t>(p)];
@@ -25,25 +27,26 @@ bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, S
             return slot == s;
         }
         case PatternKind::Inv: {
-            if (g.node(s).kind != SubjectKind::Inv) return false;
-            if (!match_rec(pat, pn.child0, g, g.node(s).fanin0, binding, undo, covered)) {
+            if (t.kind[s] != SubjectKind::Inv) return false;
+            if (!match_rec(pat, pn.child0, t, t.fanin0[s], binding, undo, covered)) {
                 return false;
             }
             covered.push_back(s);
             return true;
         }
         case PatternKind::Nand2: {
-            const SubjectNode& sn = g.node(s);
-            if (sn.kind != SubjectKind::Nand2) return false;
+            if (t.kind[s] != SubjectKind::Nand2) return false;
+            const SubjectId f0 = t.fanin0[s];
+            const SubjectId f1 = t.fanin1[s];
             // Try both child assignments (NAND is commutative); undo partial
             // bindings between attempts.
             for (int attempt = 0; attempt < 2; ++attempt) {
-                const SubjectId s0 = attempt == 0 ? sn.fanin0 : sn.fanin1;
-                const SubjectId s1 = attempt == 0 ? sn.fanin1 : sn.fanin0;
+                const SubjectId s0 = attempt == 0 ? f0 : f1;
+                const SubjectId s1 = attempt == 0 ? f1 : f0;
                 const std::size_t undo_mark = undo.size();
                 const std::size_t cover_mark = covered.size();
-                if (match_rec(pat, pn.child0, g, s0, binding, undo, covered) &&
-                    match_rec(pat, pn.child1, g, s1, binding, undo, covered)) {
+                if (match_rec(pat, pn.child0, t, s0, binding, undo, covered) &&
+                    match_rec(pat, pn.child1, t, s1, binding, undo, covered)) {
                     covered.push_back(s);
                     return true;
                 }
@@ -53,7 +56,7 @@ bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, S
                 }
                 covered.resize(cover_mark);
                 // Symmetric fanins: the second attempt is identical.
-                if (sn.fanin0 == sn.fanin1) break;
+                if (f0 == f1) break;
             }
             return false;
         }
@@ -64,26 +67,25 @@ bool match_rec(const PatternGraph& pat, std::int32_t p, const SubjectGraph& g, S
 /// Longest node-to-Input path, in edges, for every node. Subject ids are
 /// assigned in topological order (fanins precede fanouts), so one forward
 /// pass suffices.
-void compute_heights(const SubjectGraph& g, std::vector<std::uint32_t>& heights) {
-    heights.assign(g.size(), 0);
-    for (SubjectId v = 0; v < g.size(); ++v) {
-        const SubjectNode& n = g.node(v);
-        switch (n.kind) {
+void compute_heights(const SubjectTopology& t, std::vector<std::uint32_t>& heights) {
+    heights.assign(t.size(), 0);
+    for (SubjectId v = 0; v < t.size(); ++v) {
+        switch (t.kind[v]) {
             case SubjectKind::Input:
                 break;
             case SubjectKind::Inv:
-                heights[v] = heights[n.fanin0] + 1;
+                heights[v] = heights[t.fanin0[v]] + 1;
                 break;
             case SubjectKind::Nand2:
-                heights[v] = std::max(heights[n.fanin0], heights[n.fanin1]) + 1;
+                heights[v] = std::max(heights[t.fanin0[v]], heights[t.fanin1[v]]) + 1;
                 break;
         }
     }
 }
 
-void ensure_heights(const SubjectGraph& g, MatchScratch& scratch) {
+void ensure_heights(const SubjectGraph& g, const SubjectTopology& t, MatchScratch& scratch) {
     if (scratch.heights_for == &g && scratch.heights_nodes == g.size()) return;
-    compute_heights(g, scratch.heights);
+    compute_heights(t, scratch.heights);
     scratch.heights_for = &g;
     scratch.heights_nodes = g.size();
 }
@@ -142,13 +144,14 @@ bool class_ok(std::uint8_t cls, SubjectKind k) {
 
 }  // namespace
 
-bool Matcher::try_pattern(const PatternRef& ref, const SubjectGraph& g, SubjectId v,
-                          MatchScratch& scratch, std::vector<Match>& out) const {
+bool Matcher::try_pattern(const PatternRef& ref, const SubjectTopology& t, SubjectId v,
+                          MatchScratch& scratch, std::vector<Match>& out,
+                          std::size_t& n_out) const {
     const PatternGraph& pat = *ref.pattern;
     scratch.binding.assign(pat.n_vars, kNullSubject);
     scratch.undo.clear();
     scratch.covered.clear();
-    if (!match_rec(pat, pat.root, g, v, scratch.binding, scratch.undo, scratch.covered)) {
+    if (!match_rec(pat, pat.root, t, v, scratch.binding, scratch.undo, scratch.covered)) {
         return false;
     }
     // Every pattern variable must be bound (gate pins all used).
@@ -157,36 +160,42 @@ bool Matcher::try_pattern(const PatternRef& ref, const SubjectGraph& g, SubjectI
         return false;
     }
     if (scratch.covered.empty()) return false;  // degenerate pattern (no structure)
-    Match m;
-    m.gate = ref.gate;
-    m.pattern_index = ref.pattern_index;
-    m.inputs = scratch.binding;
     // Dedupe covered nodes (shared substructure can be visited twice
     // on strashed subject graphs) and sort topologically (by id);
     // the root has the largest id of the covered set.
     std::sort(scratch.covered.begin(), scratch.covered.end());
     scratch.covered.erase(std::unique(scratch.covered.begin(), scratch.covered.end()),
                           scratch.covered.end());
-    m.covered = scratch.covered;
     // A pattern leaf bound to a node that the same match covers
     // internally would make the gate feed itself; reject.
-    for (SubjectId in : m.inputs) {
-        if (std::binary_search(m.covered.begin(), m.covered.end(), in)) return false;
+    for (SubjectId in : scratch.binding) {
+        if (std::binary_search(scratch.covered.begin(), scratch.covered.end(), in)) {
+            return false;
+        }
     }
-    if (m.covered.back() != v) return false;  // defensive: root must be v
-    out.push_back(std::move(m));
+    if (scratch.covered.back() != v) return false;  // defensive: root must be v
+    // Fill the output slot in place: recycled slots keep their vectors'
+    // capacity (assign copies into existing storage), so a warmed match
+    // buffer makes the whole enumeration allocation-free.
+    if (n_out == out.size()) out.emplace_back();
+    Match& m = out[n_out++];
+    m.gate = ref.gate;
+    m.pattern_index = ref.pattern_index;
+    m.inputs.assign(scratch.binding.begin(), scratch.binding.end());
+    m.covered.assign(scratch.covered.begin(), scratch.covered.end());
     return true;
 }
 
-std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
-                                       MatchScratch& scratch, bool base_only) const {
-    std::vector<Match> out;
-    const SubjectNode& sn = g.node(v);
-    if (sn.kind == SubjectKind::Input) return out;
-    ensure_heights(g, scratch);
+std::size_t Matcher::matches_at(const SubjectGraph& g, SubjectId v, MatchScratch& scratch,
+                                std::vector<Match>& out, bool base_only) const {
+    std::size_t n_out = 0;
+    const SubjectTopology& t = g.topology();
+    const SubjectKind vk = t.kind[v];
+    if (vk == SubjectKind::Input) return n_out;
+    ensure_heights(g, t, scratch);
     const std::uint32_t h = scratch.heights[v];
     const std::vector<PatternRef>& bucket =
-        sn.kind == SubjectKind::Inv ? inv_rooted_ : nand_rooted_;
+        vk == SubjectKind::Inv ? inv_rooted_ : nand_rooted_;
     for (const PatternRef& ref : bucket) {
         if (base_only && !ref.is_base) continue;
         // Depth pruning: a pattern of depth d needs a d-edge chain of
@@ -194,13 +203,13 @@ std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
         // longest input path is shorter.
         if (h < ref.min_height) continue;
         // Root-child compatibility (commutative for NAND roots).
-        if (sn.kind == SubjectKind::Inv) {
-            if (!class_ok(static_cast<std::uint8_t>(ref.child0), g.node(sn.fanin0).kind)) {
+        if (vk == SubjectKind::Inv) {
+            if (!class_ok(static_cast<std::uint8_t>(ref.child0), t.kind[t.fanin0[v]])) {
                 continue;
             }
         } else {
-            const SubjectKind k0 = g.node(sn.fanin0).kind;
-            const SubjectKind k1 = g.node(sn.fanin1).kind;
+            const SubjectKind k0 = t.kind[t.fanin0[v]];
+            const SubjectKind k1 = t.kind[t.fanin1[v]];
             const std::uint8_t c0 = static_cast<std::uint8_t>(ref.child0);
             const std::uint8_t c1 = static_cast<std::uint8_t>(ref.child1);
             if (!((class_ok(c0, k0) && class_ok(c1, k1)) ||
@@ -208,8 +217,15 @@ std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
                 continue;
             }
         }
-        try_pattern(ref, g, v, scratch, out);
+        try_pattern(ref, t, v, scratch, out, n_out);
     }
+    return n_out;
+}
+
+std::vector<Match> Matcher::matches_at(const SubjectGraph& g, SubjectId v,
+                                       MatchScratch& scratch, bool base_only) const {
+    std::vector<Match> out;
+    out.resize(matches_at(g, v, scratch, out, base_only));
     return out;
 }
 
@@ -223,7 +239,9 @@ std::vector<Match> Matcher::matches_at_reference(const SubjectGraph& g, SubjectI
                                                  bool base_only) const {
     std::vector<Match> out;
     if (g.node(v).kind == SubjectKind::Input) return out;
+    const SubjectTopology& t = g.topology();
     MatchScratch scratch;
+    std::size_t n_out = 0;
     for (GateId gid = 0; gid < lib_->size(); ++gid) {
         if (base_only && gid != lib_->inverter() && gid != lib_->nand2()) continue;
         const Gate& gate = lib_->gate(gid);
@@ -232,9 +250,10 @@ std::vector<Match> Matcher::matches_at_reference(const SubjectGraph& g, SubjectI
             ref.gate = gid;
             ref.pattern_index = pi;
             ref.pattern = &gate.patterns[pi];
-            try_pattern(ref, g, v, scratch, out);
+            try_pattern(ref, t, v, scratch, out, n_out);
         }
     }
+    out.resize(n_out);
     return out;
 }
 

@@ -69,6 +69,13 @@ public:
     /// `scratch` is reused across calls to avoid per-call allocation; the
     /// overload without it keeps a conversion-cost fallback for one-shot
     /// callers (checkers, tests).
+    ///
+    /// The in-place overload writes matches into `out[0..return)` — slots
+    /// past the previous size are appended, earlier slots are recycled so
+    /// their inner vectors keep capacity. A warmed buffer makes repeated
+    /// enumeration allocation-free; this is what the Lily DP hot loop uses.
+    std::size_t matches_at(const SubjectGraph& g, SubjectId v, MatchScratch& scratch,
+                           std::vector<Match>& out, bool base_only = false) const;
     std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v, MatchScratch& scratch,
                                   bool base_only = false) const;
     std::vector<Match> matches_at(const SubjectGraph& g, SubjectId v,
@@ -91,14 +98,15 @@ private:
         GateId gate;
         std::uint32_t pattern_index;
         const PatternGraph* pattern;
-        std::uint32_t min_height;  // == pattern depth; subject must be as tall
+        std::uint32_t min_height = 0;  // == pattern depth; subject must be as tall
         ChildClass child0 = ChildClass::Leaf;
         ChildClass child1 = ChildClass::Leaf;  // Nand2 roots only
-        bool is_base;  // gate is the canonical inverter or NAND2
+        bool is_base = false;  // gate is the canonical inverter or NAND2
     };
 
-    bool try_pattern(const PatternRef& ref, const SubjectGraph& g, SubjectId v,
-                     MatchScratch& scratch, std::vector<Match>& out) const;
+    bool try_pattern(const PatternRef& ref, const SubjectTopology& t, SubjectId v,
+                     MatchScratch& scratch, std::vector<Match>& out,
+                     std::size_t& n_out) const;
 
     const Library* lib_;
     std::vector<PatternRef> inv_rooted_;   // in (gate, pattern) order

@@ -126,6 +126,9 @@ StatusOr<AppliedDelta> Network::apply_delta(const NetDelta& delta) {
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
     const Version v = tmp.version_.bump();
+    // Rewire/remove edits mutate adjacency without going through allocate();
+    // one unconditional bump marks every frozen topology view stale.
+    tmp.struct_version_.bump();
     tmp.journal_.push_back({v, touched});
     *this = std::move(tmp);
     return AppliedDelta{v, std::move(touched)};
@@ -266,16 +269,27 @@ NetDelta local_delta(const Network& net, std::size_t n_edits, std::uint64_t seed
     // disturbs at most `bound` downstream nodes (transitive fanout, counted
     // with an early cutoff).
     const std::size_t bound = std::max<std::size_t>(4, net.node_count() / 64);
+    // Fanout walks over the frozen CSR view, with epoch-stamped marks reused
+    // across the candidate scan (the old per-candidate unordered_set made
+    // this the hottest allocation site of delta generation).
+    const NetworkTopology& topo = net.topology();
+    std::vector<std::uint32_t> tfo_mark(net.node_count(), 0);
+    std::uint32_t tfo_epoch = 0;
+    std::vector<NodeId> tfo_stack;
     auto tfo_within_bound = [&](NodeId root) {
-        std::vector<NodeId> stack{root};
-        std::unordered_set<NodeId> seen{root};
-        while (!stack.empty()) {
-            const NodeId v = stack.back();
-            stack.pop_back();
-            for (NodeId f : net.node(v).fanouts) {
-                if (seen.insert(f).second) {
-                    if (seen.size() > bound + 1) return false;
-                    stack.push_back(f);
+        ++tfo_epoch;
+        tfo_stack.clear();
+        tfo_stack.push_back(root);
+        tfo_mark[root] = tfo_epoch;
+        std::size_t seen = 1;
+        while (!tfo_stack.empty()) {
+            const NodeId v = tfo_stack.back();
+            tfo_stack.pop_back();
+            for (NodeId f : topo.fanouts_of(v)) {
+                if (tfo_mark[f] != tfo_epoch) {
+                    tfo_mark[f] = tfo_epoch;
+                    if (++seen > bound + 1) return false;
+                    tfo_stack.push_back(f);
                 }
             }
         }

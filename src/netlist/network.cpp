@@ -13,7 +13,32 @@ NodeId Network::allocate(Node n) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     by_name_.emplace(n.name, id);
     nodes_.push_back(std::move(n));
+    struct_version_.bump();  // adjacency changed: frozen topology views are stale
     return id;
+}
+
+const NetworkTopology& Network::topology() const {
+    if (topo_ == nullptr || topo_->built_from != struct_version_.value()) {
+        auto t = std::make_shared<NetworkTopology>();
+        t->built_from = struct_version_.value();
+        const std::size_t n = nodes_.size();
+        t->fanins = Csr<NodeId>::counted(
+            n, [&](std::size_t v) { return nodes_[v].fanins.size(); },
+            [&](auto&& emit) {
+                for (NodeId v = 0; v < n; ++v) {
+                    for (const NodeId f : nodes_[v].fanins) emit(v, f);
+                }
+            });
+        t->fanouts = Csr<NodeId>::counted(
+            n, [&](std::size_t v) { return nodes_[v].fanouts.size(); },
+            [&](auto&& emit) {
+                for (NodeId v = 0; v < n; ++v) {
+                    for (const NodeId f : nodes_[v].fanouts) emit(v, f);
+                }
+            });
+        topo_ = std::move(t);
+    }
+    return *topo_;
 }
 
 std::string Network::fresh_name(const char* prefix) {
@@ -122,23 +147,23 @@ std::vector<NodeId> Network::topological_order() const {
 }
 
 std::vector<NodeId> Network::transitive_fanin(NodeId root) const {
+    const NetworkTopology& t = topology();
     std::vector<bool> in_tfi(nodes_.size(), false);
     std::vector<NodeId> stack{root};
     in_tfi[root] = true;
+    std::vector<NodeId> out{root};
     while (!stack.empty()) {
         const NodeId v = stack.back();
         stack.pop_back();
-        for (NodeId f : nodes_[v].fanins) {
+        for (NodeId f : t.fanins_of(v)) {
             if (!in_tfi[f]) {
                 in_tfi[f] = true;
                 stack.push_back(f);
+                out.push_back(f);
             }
         }
     }
-    std::vector<NodeId> out;
-    for (NodeId i = 0; i < nodes_.size(); ++i) {
-        if (in_tfi[i]) out.push_back(i);  // creation order is topological
-    }
+    std::sort(out.begin(), out.end());  // creation order is topological
     return out;
 }
 
@@ -231,6 +256,7 @@ std::size_t Network::sweep() {
     for (PrimaryOutput& po : outputs_) po.driver = remap[po.driver];
     by_name_.clear();
     for (NodeId i = 0; i < nodes_.size(); ++i) by_name_.emplace(nodes_[i].name, i);
+    struct_version_.bump();  // ids and adjacency both changed
     return removed;
 }
 

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "netlist/sop.hpp"
+#include "util/csr.hpp"
 #include "util/status.hpp"
 #include "util/version.hpp"
 
@@ -51,6 +53,21 @@ struct PrimaryOutput {
 struct AppliedDelta {
     Version version = kNeverBuilt;
     std::vector<NodeId> touched;
+};
+
+/// Frozen flat-adjacency view of a Network: fanin and fanout edges in CSR
+/// form (dead nodes keep empty rows). Graph walks that only need structure
+/// — TFI/TFO closures, adapters — read this instead of chasing per-node
+/// std::vector storage. Stamped with the structure generation it was built
+/// from; Network::topology() rebuilds lazily after mutation.
+struct NetworkTopology {
+    Version built_from = kNeverBuilt;
+    Csr<NodeId> fanins;
+    Csr<NodeId> fanouts;
+
+    std::size_t size() const { return fanins.node_count(); }
+    std::span<const NodeId> fanins_of(NodeId v) const { return fanins.neighbors(v); }
+    std::span<const NodeId> fanouts_of(NodeId v) const { return fanouts.neighbors(v); }
 };
 
 /// A combinational multi-level logic network.
@@ -131,6 +148,20 @@ public:
     /// from can detect staleness by comparison.
     Version version() const { return version_.value(); }
 
+    /// Structure generation: bumped by every node allocation, sweep, and
+    /// applied delta — anything that can change adjacency. Distinct from
+    /// version(), which counts ECO deltas for the journal. Note that the
+    /// non-const node() accessor is a mutation backdoor this counter cannot
+    /// see; code editing fanins/fanouts directly (rather than through
+    /// add_node/apply_delta/sweep) must not be mixed with topology().
+    Version struct_version() const { return struct_version_.value(); }
+
+    /// The frozen flat-adjacency view, rebuilt lazily when struct_version()
+    /// moved. The warm path just compares stamps; cold builds are O(V + E).
+    /// Not safe against a concurrent first build — freeze it from serial
+    /// code before handing the network to parallel kernels.
+    const NetworkTopology& topology() const;
+
     /// Apply an ordered list of ECO edits atomically: either every op
     /// validates and the network advances one version, or the network is
     /// left untouched and an error Status is returned. The touched node ids
@@ -156,6 +187,8 @@ private:
     std::unordered_map<std::string, NodeId> by_name_;
     std::uint64_t next_auto_ = 0;
     VersionCounter version_;
+    VersionCounter struct_version_;
+    mutable std::shared_ptr<const NetworkTopology> topo_;  // stamped lazy cache
     std::vector<JournalEntry> journal_;
 };
 

@@ -6,16 +6,16 @@
 namespace lily {
 
 SubjectPlacementView make_placement_view(const SubjectGraph& g) {
+    const SubjectTopology& t = g.topology();
     SubjectPlacementView view;
     view.cell_of.assign(g.size(), kNoCell);
 
     for (SubjectId v = 0; v < g.size(); ++v) {
-        const SubjectNode& n = g.node(v);
-        if (n.kind == SubjectKind::Input) continue;
+        if (t.kind[v] == SubjectKind::Input) continue;
         view.cell_of[v] = view.subject_of.size();
         view.subject_of.push_back(v);
-        view.netlist.cell_area.push_back(n.kind == SubjectKind::Inv ? kInvCellArea
-                                                                    : kNandCellArea);
+        view.netlist.cell_area.push_back(t.kind[v] == SubjectKind::Inv ? kInvCellArea
+                                                                       : kNandCellArea);
     }
     view.netlist.n_cells = view.subject_of.size();
 
@@ -33,16 +33,16 @@ SubjectPlacementView make_placement_view(const SubjectGraph& g) {
     }
 
     for (SubjectId v = 0; v < g.size(); ++v) {
-        const SubjectNode& n = g.node(v);
+        const auto fanouts = t.fanouts_of(v);
         const auto po_it = po_pads.find(v);
-        if (n.fanouts.empty() && po_it == po_pads.end()) continue;
+        if (fanouts.empty() && po_it == po_pads.end()) continue;
         PlacementNetlist::Net net;
         if (view.cell_of[v] != kNoCell) {
             net.cells.push_back(view.cell_of[v]);
         } else {
             net.pads.push_back(pi_pad.at(v));
         }
-        for (const SubjectId f : n.fanouts) {
+        for (const SubjectId f : fanouts) {
             if (view.cell_of[f] != kNoCell) net.cells.push_back(view.cell_of[f]);
         }
         if (po_it != po_pads.end()) {

@@ -45,8 +45,11 @@ struct QpSystem {
     SparseMatrix a;                  // springs + pads, anchor slots reserved
     std::vector<double> base_bx;     // rhs before region anchors
     std::vector<double> base_by;
-    // Scratch reused across rounds (rhs with anchors applied).
+    // Scratch reused across rounds (rhs with anchors applied), plus one CG
+    // workspace per axis — the axis solves may run concurrently, and after
+    // the first round the solves allocate nothing.
     std::vector<double> bx, by, x, y;
+    CgWorkspace cg_x, cg_y;
 };
 
 QpSystem build_qp_system(const PlacementNetlist& nl) {
@@ -111,11 +114,6 @@ QpSystem build_qp_system(const PlacementNetlist& nl) {
     return sys;
 }
 
-/// Past this size, inner CG kernels have enough work to parallelize over
-/// row ranges; below it the two axis solves run concurrently instead
-/// (results are identical either way — only the schedule differs).
-constexpr std::size_t kAxisSplitMax = 4096;
-
 /// One quadratic solve against the prebuilt system: region anchors go into
 /// the diagonal and rhs, then the x and y axes are solved independently.
 /// Returns false when the stage budget fired before both axes converged.
@@ -136,24 +134,13 @@ bool solve_qp(QpSystem& sys, const PlacementNetlist& nl, std::span<const Point> 
         }
     });
 
-    CgResult rx, ry;
-    auto solve_x = [&] {
-        rx = conjugate_gradient(sys.a, sys.bx, sys.x, opts.cg_tolerance, opts.cg_max_iters,
-                                opts.budget);
-    };
-    auto solve_y = [&] {
-        ry = conjugate_gradient(sys.a, sys.by, sys.y, opts.cg_tolerance, opts.cg_max_iters,
-                                opts.budget);
-    };
-    if (n <= kAxisSplitMax) {
-        // Small systems: the two axes run concurrently (each CG serial).
-        parallel_invoke(solve_x, solve_y);
-    } else {
-        // Large systems: sequential axes, parallel SpMV/dot kernels — the
-        // whole pool works on one solve instead of idling behind two lanes.
-        solve_x();
-        solve_y();
-    }
+    // Both axes share one Laplacian, so the lockstep pair solver streams the
+    // matrix once per iteration for the two right-hand sides. Each axis's
+    // arithmetic is exactly a standalone conjugate_gradient call, so the
+    // positions stay bit-identical to sequential axis solves.
+    const auto [rx, ry] =
+        conjugate_gradient_pair(sys.a, sys.bx, sys.x, sys.cg_x, sys.by, sys.y, sys.cg_y,
+                                opts.cg_tolerance, opts.cg_max_iters, opts.budget);
     parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) positions[c] = {sys.x[c], sys.y[c]};
     });
@@ -388,10 +375,9 @@ IncrementalPlacement place_incremental(const PlacementNetlist& nl, const Rect& r
         x[i] = positions[cells[i]].x;
         y[i] = positions[cells[i]].y;
     }
-    const CgResult rx =
-        conjugate_gradient(a, bx, x, opts.cg_tolerance, opts.cg_max_iters, opts.budget);
-    const CgResult ry =
-        conjugate_gradient(a, by, y, opts.cg_tolerance, opts.cg_max_iters, opts.budget);
+    CgWorkspace wsx, wsy;
+    const auto [rx, ry] = conjugate_gradient_pair(a, bx, x, wsx, by, y, wsy, opts.cg_tolerance,
+                                                  opts.cg_max_iters, opts.budget);
     out.cg_iterations = rx.iterations + ry.iterations;
     out.converged = rx.converged && ry.converged;
     out.budget_exhausted = rx.budget_exhausted || ry.budget_exhausted;

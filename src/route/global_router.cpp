@@ -158,32 +158,62 @@ struct Router {
         }
     }
     /// Dijkstra over grid nodes with congestion-aware edge costs.
+    ///
+    /// The distance/predecessor arrays live in the Router and are "reset"
+    /// by bumping a generation stamp — an entry is live only when its stamp
+    /// matches the current search — so each of the thousands of detour
+    /// searches skips reallocating and refilling two full-grid arrays. The
+    /// open set is a reused vector driven by push_heap/pop_heap, the exact
+    /// operations std::priority_queue is specified in terms of. Relaxation
+    /// order, tie-breaking, and the returned path are bit-identical to the
+    /// fresh-arrays version.
     std::vector<std::pair<std::size_t, std::size_t>> maze_route(const TwoPin& c) {
         const std::size_t nn = n * n;
-        std::vector<double> dist(nn, std::numeric_limits<double>::max());
-        std::vector<std::uint32_t> prev(nn, static_cast<std::uint32_t>(nn));
+        const std::uint32_t none = static_cast<std::uint32_t>(nn);
+        if (dist_.size() != nn) {
+            dist_.assign(nn, 0.0);
+            prev_.assign(nn, none);
+            stamp_.assign(nn, 0);
+            gen_ = 0;
+        }
+        if (++gen_ == 0) {  // stamp wraparound: invalidate everything once
+            std::fill(stamp_.begin(), stamp_.end(), 0);
+            gen_ = 1;
+        }
+        const std::uint32_t gen = gen_;
         using QE = std::pair<double, std::uint32_t>;
-        std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+        heap_.clear();
+        const auto qpush = [&](double d, std::uint32_t u) {
+            heap_.push_back({d, u});
+            std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        };
         const auto id = [&](std::size_t x, std::size_t y) {
             return static_cast<std::uint32_t>(x + y * n);
         };
         const std::uint32_t src = id(c.x0, c.y0);
         const std::uint32_t dst = id(c.x1, c.y1);
-        dist[src] = 0.0;
-        queue.push({0.0, src});
-        while (!queue.empty()) {
-            const auto [d, v] = queue.top();
-            queue.pop();
-            if (d > dist[v]) continue;
+        dist_[src] = 0.0;
+        prev_[src] = none;
+        stamp_[src] = gen;
+        qpush(0.0, src);
+        while (!heap_.empty()) {
+            const QE top = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            heap_.pop_back();
+            const auto [d, v] = top;
+            if (d > dist_[v]) continue;  // v was queued, so its entry is live
             if (v == dst) break;
             const std::size_t x = v % n;
             const std::size_t y = v / n;
             const auto relax = [&](std::size_t nx, std::size_t ny, double w) {
                 const std::uint32_t u = id(nx, ny);
-                if (d + w < dist[u]) {
-                    dist[u] = d + w;
-                    prev[u] = v;
-                    queue.push({dist[u], u});
+                const double du = stamp_[u] == gen ? dist_[u]
+                                                   : std::numeric_limits<double>::max();
+                if (d + w < du) {
+                    dist_[u] = d + w;
+                    prev_[u] = v;
+                    stamp_[u] = gen;
+                    qpush(dist_[u], u);
                 }
             };
             if (x + 1 < n) relax(x + 1, y, edge_cost(horiz(x, y)));
@@ -192,13 +222,22 @@ struct Router {
             if (y > 0) relax(x, y - 1, edge_cost(vert(x, y - 1)));
         }
         std::vector<std::pair<std::size_t, std::size_t>> path;
-        for (std::uint32_t v = dst; v != static_cast<std::uint32_t>(nn); v = prev[v]) {
+        for (std::uint32_t v = dst; v != none;) {
             path.push_back({v % n, v / n});
             if (v == src) break;
+            v = stamp_[v] == gen ? prev_[v] : none;
         }
         std::reverse(path.begin(), path.end());
         return path;
     }
+
+    // maze_route workspace (see above); default-initialized members keep
+    // the aggregate construction sites unchanged.
+    std::vector<double> dist_;
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<std::pair<double, std::uint32_t>> heap_;
+    std::uint32_t gen_ = 0;
 };
 
 TwoPin to_twopin(const RouteResult::Connection& c) {
@@ -270,7 +309,7 @@ RouteResult route_global(const PlacementNetlist& nl, std::span<const Point> cell
         capacity = std::max(1.0, demand / n_edges * 1.6);
     }
 
-    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage};
+    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage, {}, {}, {}, {}, 0};
 
     // Pass 2: route each connection with the cheaper L-shape; subsequent
     // rip-up passes re-decide against the full congestion picture.
@@ -352,7 +391,7 @@ RouteResult route_incremental(const PlacementNetlist& nl, std::span<const Point>
     res.v_usage = prior.v_usage;
     const GridMap grid{region, n};
     const double capacity = prior.capacity;  // keep costs comparable across deltas
-    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage};
+    Router router{n, capacity, opts.congestion_penalty, res.h_usage, res.v_usage, {}, {}, {}, {}, 0};
 
     const std::vector<TwoPin> connections = build_connections(nl, cell_positions, grid);
 

@@ -6,33 +6,44 @@
 namespace lily {
 
 std::vector<Cone> logic_cones(const SubjectGraph& g) {
+    const SubjectTopology& t = g.topology();
     std::vector<Cone> cones;
     std::vector<bool> seen_root(g.size(), false);
+    // Buffers reused across cones: epoch-stamped visit marks replace the
+    // fresh O(n) bitmap the old implementation allocated per cone, and
+    // members are collected during the DFS (then sorted into id order)
+    // instead of an O(n) full-graph scan per cone.
+    std::vector<std::uint32_t> mark(g.size(), 0);
+    std::uint32_t epoch = 0;
+    std::vector<SubjectId> stack;
     for (const SubjectOutput& po : g.outputs()) {
         if (seen_root[po.driver]) continue;  // outputs sharing a driver share a cone
         seen_root[po.driver] = true;
         Cone cone;
         cone.po_name = po.name;
         cone.root = po.driver;
-        // Transitive fanin via DFS, then emit in id (= topological) order.
-        std::vector<bool> in_cone(g.size(), false);
-        std::vector<SubjectId> stack{po.driver};
-        in_cone[po.driver] = true;
+        ++epoch;
+        stack.clear();
+        stack.push_back(po.driver);
+        mark[po.driver] = epoch;
+        cone.members.push_back(po.driver);
         while (!stack.empty()) {
             const SubjectId v = stack.back();
             stack.pop_back();
-            const SubjectNode& n = g.node(v);
-            for (unsigned k = 0; k < n.fanin_count(); ++k) {
-                const SubjectId f = n.fanin(k);
-                if (!in_cone[f]) {
-                    in_cone[f] = true;
+            const unsigned fc = t.kind[v] == SubjectKind::Input
+                                    ? 0u
+                                    : (t.kind[v] == SubjectKind::Inv ? 1u : 2u);
+            for (unsigned k = 0; k < fc; ++k) {
+                const SubjectId f = k == 0 ? t.fanin0[v] : t.fanin1[v];
+                if (mark[f] != epoch) {
+                    mark[f] = epoch;
                     stack.push_back(f);
+                    cone.members.push_back(f);
                 }
             }
         }
-        for (SubjectId v = 0; v < g.size(); ++v) {
-            if (in_cone[v]) cone.members.push_back(v);
-        }
+        // Emit in id (= topological) order, as the DP iteration requires.
+        std::sort(cone.members.begin(), cone.members.end());
         cones.push_back(std::move(cone));
     }
     return cones;
@@ -54,9 +65,10 @@ std::vector<std::vector<unsigned>> exit_line_matrix(const SubjectGraph& g,
         for (SubjectId v : cones[i].members) set_member(v, i);
     }
 
+    const SubjectTopology& t = g.topology();
     std::vector<std::vector<unsigned>> m(nc, std::vector<unsigned>(nc, 0));
     for (SubjectId u = 0; u < g.size(); ++u) {
-        for (SubjectId v : g.node(u).fanouts) {
+        for (SubjectId v : t.fanouts_of(u)) {
             for (std::size_t i = 0; i < nc; ++i) {
                 if (!is_member(u, i) || is_member(v, i)) continue;  // not an exit line of i
                 for (std::size_t j = 0; j < nc; ++j) {
@@ -147,24 +159,23 @@ TreePartition partition_trees(const SubjectGraph& g) {
     TreePartition part;
     part.tree_of.assign(g.size(), TreePartition::npos);
 
+    const SubjectTopology& t = g.topology();
     const auto is_root = [&](SubjectId v) {
-        const SubjectNode& n = g.node(v);
-        if (n.kind == SubjectKind::Input) return false;
-        return g.drives_output(v) || n.fanouts.size() != 1;
+        if (t.kind[v] == SubjectKind::Input) return false;
+        return g.drives_output(v) || t.fanouts_of(v).size() != 1;
     };
 
     // Assign each gate node to the tree of its unique fanout chain root.
     // Process in reverse topological order so the root is known first.
     std::vector<std::size_t> root_tree(g.size(), TreePartition::npos);
     for (SubjectId v = static_cast<SubjectId>(g.size()); v-- > 0;) {
-        const SubjectNode& n = g.node(v);
-        if (n.kind == SubjectKind::Input) continue;
+        if (t.kind[v] == SubjectKind::Input) continue;
         if (is_root(v)) {
             root_tree[v] = part.trees.size();
             part.trees.emplace_back();
             part.tree_of[v] = root_tree[v];
         } else {
-            part.tree_of[v] = part.tree_of[n.fanouts[0]];
+            part.tree_of[v] = part.tree_of[t.fanouts_of(v)[0]];
         }
     }
     // Collect members in topological (id) order, root last within each tree.

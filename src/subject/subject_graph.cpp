@@ -9,7 +9,33 @@ SubjectId SubjectGraph::allocate(SubjectNode n) {
     const SubjectId id = static_cast<SubjectId>(nodes_.size());
     nodes_.push_back(std::move(n));
     po_driver_.push_back(false);
+    version_.bump();  // adjacency changed: frozen topology views are stale
     return id;
+}
+
+const SubjectTopology& SubjectGraph::topology() const {
+    if (topo_ == nullptr || topo_->built_from != version_.value()) {
+        auto t = std::make_shared<SubjectTopology>();
+        t->built_from = version_.value();
+        const std::size_t n = nodes_.size();
+        t->kind.resize(n);
+        t->fanin0.resize(n);
+        t->fanin1.resize(n);
+        for (SubjectId v = 0; v < n; ++v) {
+            t->kind[v] = nodes_[v].kind;
+            t->fanin0[v] = nodes_[v].fanin0;
+            t->fanin1[v] = nodes_[v].fanin1;
+        }
+        t->fanouts = Csr<SubjectId>::counted(
+            n, [&](std::size_t v) { return nodes_[v].fanouts.size(); },
+            [&](auto&& emit) {
+                for (SubjectId v = 0; v < n; ++v) {
+                    for (const SubjectId f : nodes_[v].fanouts) emit(v, f);
+                }
+            });
+        topo_ = std::move(t);
+    }
+    return *topo_;
 }
 
 SubjectId SubjectGraph::add_input(std::string input_name, NodeId origin) {

@@ -5,12 +5,15 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/network.hpp"
+#include "util/csr.hpp"
+#include "util/version.hpp"
 
 namespace lily {
 
@@ -40,6 +43,23 @@ struct SubjectNode {
 struct SubjectOutput {
     std::string name;
     SubjectId driver = kNullSubject;
+};
+
+/// Frozen structure-of-arrays view of a SubjectGraph: kind/fanin0/fanin1 as
+/// flat parallel arrays plus the fanout edges in CSR form. SubjectNode drags
+/// a std::vector (the fanouts) through every cache line, so the pattern
+/// matcher and the Lily DP — which walk millions of fanin/fanout edges per
+/// flow — read this view instead. Stamped with the graph version it was
+/// built from; SubjectGraph::topology() rebuilds lazily after mutation.
+struct SubjectTopology {
+    Version built_from = kNeverBuilt;
+    std::vector<SubjectKind> kind;
+    std::vector<SubjectId> fanin0;
+    std::vector<SubjectId> fanin1;
+    Csr<SubjectId> fanouts;
+
+    std::size_t size() const { return kind.size(); }
+    std::span<const SubjectId> fanouts_of(SubjectId v) const { return fanouts.neighbors(v); }
 };
 
 /// A combinational NAND2/INV DAG with structural hashing. Node ids are
@@ -84,6 +104,19 @@ public:
     std::span<const SubjectId> inputs() const { return inputs_; }
     std::span<const SubjectOutput> outputs() const { return outputs_; }
 
+    /// Structure generation: bumped by every node allocation. Downstream
+    /// artifacts (the frozen topology view, mapper caches) stamp themselves
+    /// with it to detect staleness — the same discipline Network::version()
+    /// uses for the ECO pipeline.
+    Version version() const { return version_.value(); }
+
+    /// The frozen flat-adjacency view, rebuilt lazily when the version
+    /// moved. The warm path just compares stamps; cold builds are O(V + E).
+    /// Not safe against a concurrent *first* build — freeze it from serial
+    /// code before handing the graph to parallel kernels (every flow call
+    /// site does: the mappers fetch it once at entry).
+    const SubjectTopology& topology() const;
+
     std::size_t gate_count() const;  // Inv + Nand2 nodes
     std::size_t depth() const;
     bool is_multi_fanout(SubjectId id) const { return nodes_[id].fanouts.size() > 1; }
@@ -106,6 +139,8 @@ private:
     std::vector<SubjectOutput> outputs_;
     std::vector<bool> po_driver_;
     std::unordered_map<SubjectId, std::string> names_;
+    VersionCounter version_;
+    mutable std::shared_ptr<const SubjectTopology> topo_;  // stamped lazy cache
     // Structural hash: key packs (kind, fanin0, fanin1).
     struct Key {
         SubjectKind kind;

@@ -1,0 +1,149 @@
+// Flat adjacency (CSR) and bump-pointer arena storage for the hot-path
+// graph kernels.
+//
+// The pointer-based graph types (Network, SubjectGraph) keep one
+// std::vector per node for adjacency — ideal for incremental construction,
+// hostile to the inner loops that walk millions of edges: every list is a
+// separate heap block, so a traversal is a pointer chase with no spatial
+// locality and the allocator shows up in every profile. The flow therefore
+// freezes each hot graph into a Csr view once per epoch (see the Version
+// machinery in util/version.hpp): two flat arrays, `offsets` (n+1 entries)
+// and `targets`, with node i's neighbors at targets[offsets[i]..offsets[i+1]).
+// Frozen views are immutable; mutation invalidates them by version bump and
+// the next consumer rebuilds.
+//
+// The Arena is the companion allocator for per-flow scratch that would
+// otherwise churn the global heap: bump-pointer allocation out of chunked
+// blocks, O(1) reset that retains capacity, no per-object free. Objects
+// placed in an arena must be trivially destructible.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lily {
+
+/// Compressed sparse row adjacency over nodes [0, n). Id is the node/edge
+/// id type (SubjectId, NodeId, ...). Build with CsrBuilder or the two-pass
+/// counting constructor below; immutable afterwards.
+template <typename Id>
+class Csr {
+public:
+    Csr() = default;
+
+    /// Two-pass build from an edge enumerator: `degrees(i)` returns node
+    /// i's out-degree, `fill(emit)` calls emit(src, dst) once per edge in
+    /// any order. Edges land in per-source slots, preserving emission
+    /// order within each source.
+    template <typename DegreeFn, typename FillFn>
+    static Csr counted(std::size_t n, DegreeFn&& degrees, FillFn&& fill) {
+        Csr c;
+        c.offsets_.assign(n + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            c.offsets_[i + 1] = c.offsets_[i] + degrees(i);
+        }
+        c.targets_.resize(c.offsets_[n]);
+        std::vector<std::uint32_t> cursor(n, 0);
+        fill([&](std::size_t src, Id dst) {
+            c.targets_[c.offsets_[src] + cursor[src]++] = dst;
+        });
+        return c;
+    }
+
+    std::size_t node_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+    std::size_t edge_count() const { return targets_.size(); }
+    bool empty() const { return offsets_.empty(); }
+
+    std::span<const Id> neighbors(std::size_t i) const {
+        assert(i + 1 < offsets_.size());
+        return {targets_.data() + offsets_[i], targets_.data() + offsets_[i + 1]};
+    }
+    std::uint32_t degree(std::size_t i) const { return offsets_[i + 1] - offsets_[i]; }
+
+private:
+    // 32-bit offsets: the hot graphs stay well under 4G edges, and halving
+    // the offset table is most of the point of flattening.
+    std::vector<std::uint32_t> offsets_;  // n + 1 entries (empty when unbuilt)
+    std::vector<Id> targets_;
+};
+
+/// Bump-pointer allocator: carve trivially-destructible scratch out of
+/// chunked blocks, release everything at once with reset(). Blocks are
+/// retained across resets, so a warmed arena allocates nothing in steady
+/// state — the property the per-stage allocation counters assert.
+class Arena {
+public:
+    explicit Arena(std::size_t block_bytes = 1 << 16) : block_bytes_(block_bytes) {}
+
+    /// Uninitialized storage for `count` T, aligned for T.
+    template <typename T>
+    T* allocate(std::size_t count) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena memory is reclaimed without running destructors");
+        return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+    }
+
+    /// A span of `count` value-initialized T.
+    template <typename T>
+    std::span<T> make_span(std::size_t count) {
+        T* p = allocate<T>(count);
+        for (std::size_t i = 0; i < count; ++i) new (p + i) T();
+        return {p, count};
+    }
+
+    /// Drop every allocation, keep the blocks. O(1).
+    void reset() {
+        block_ = 0;
+        used_ = 0;
+    }
+
+    std::size_t allocated_bytes() const { return allocated_; }
+    std::size_t capacity_bytes() const { return blocks_.size() * block_bytes_ + oversize_bytes_; }
+
+private:
+    void* allocate_bytes(std::size_t bytes, std::size_t align) {
+        if (bytes == 0) bytes = 1;
+        allocated_ += bytes;
+        // Oversize requests get their own block (kept until destruction;
+        // reset does not recycle them — they are rare by construction).
+        if (bytes + align > block_bytes_) {
+            oversize_.push_back(std::make_unique<std::byte[]>(bytes + align));
+            oversize_bytes_ += bytes + align;
+            return align_up(oversize_.back().get(), align);
+        }
+        while (true) {
+            if (block_ == blocks_.size()) {
+                blocks_.push_back(std::make_unique<std::byte[]>(block_bytes_));
+                used_ = 0;
+            }
+            std::byte* base = blocks_[block_].get();
+            std::byte* p = align_up(base + used_, align);
+            if (static_cast<std::size_t>(p - base) + bytes <= block_bytes_) {
+                used_ = static_cast<std::size_t>(p - base) + bytes;
+                return p;
+            }
+            ++block_;  // current block full; move on (fresh block => used_ = 0)
+            used_ = 0;
+        }
+    }
+
+    static std::byte* align_up(std::byte* p, std::size_t align) {
+        const auto v = reinterpret_cast<std::uintptr_t>(p);
+        return p + ((align - v % align) % align);
+    }
+
+    std::size_t block_bytes_;
+    std::vector<std::unique_ptr<std::byte[]>> blocks_;
+    std::vector<std::unique_ptr<std::byte[]>> oversize_;
+    std::size_t block_ = 0;      // block currently bumped into
+    std::size_t used_ = 0;       // bytes used in blocks_[block_]
+    std::size_t allocated_ = 0;  // lifetime bytes handed out (stat)
+    std::size_t oversize_bytes_ = 0;
+};
+
+}  // namespace lily

@@ -38,7 +38,12 @@ Point center_of_mass(std::span<const Point> pts, std::span<const double> weights
     return sum / total;
 }
 
-double median_coordinate(std::vector<double> xs) {
+namespace {
+
+// Shared core: partitions in place. The result depends only on the order
+// statistics of the values, so a pooled buffer and a fresh copy agree
+// bit-for-bit.
+double median_inplace(std::vector<double>& xs) {
     if (xs.empty()) return 0.0;
     const std::size_t n = xs.size();
     const std::size_t mid = (n - 1) / 2;
@@ -50,16 +55,20 @@ double median_coordinate(std::vector<double> xs) {
     return (lo + hi) / 2.0;
 }
 
-Point manhattan_median_of_rects(std::span<const Rect> rects) {
+}  // namespace
+
+double median_coordinate(std::vector<double> xs) { return median_inplace(xs); }
+
+Point manhattan_median_of_rects(std::span<const Rect> rects, MedianScratch& scratch) {
     // Per Section 3.2: the x-distance of p to rectangle r is
     //   (|ll.x - p.x| + |ur.x - p.x| - |ur.x - ll.x|) / 2,
     // so minimizing the sum over rectangles reduces (up to constants) to the
     // median of the multiset of left and right corner coordinates; likewise
     // for y with bottom and top coordinates.
-    std::vector<double> xs;
-    std::vector<double> ys;
-    xs.reserve(rects.size() * 2);
-    ys.reserve(rects.size() * 2);
+    std::vector<double>& xs = scratch.xs;
+    std::vector<double>& ys = scratch.ys;
+    xs.clear();
+    ys.clear();
     for (const Rect& r : rects) {
         if (r.empty()) continue;
         xs.push_back(r.ll.x);
@@ -67,7 +76,12 @@ Point manhattan_median_of_rects(std::span<const Rect> rects) {
         ys.push_back(r.ll.y);
         ys.push_back(r.ur.y);
     }
-    return {median_coordinate(std::move(xs)), median_coordinate(std::move(ys))};
+    return {median_inplace(xs), median_inplace(ys)};
+}
+
+Point manhattan_median_of_rects(std::span<const Rect> rects) {
+    MedianScratch scratch;
+    return manhattan_median_of_rects(rects, scratch);
 }
 
 }  // namespace lily

@@ -116,4 +116,15 @@ double median_coordinate(std::vector<double> xs);
 /// coordinates.
 Point manhattan_median_of_rects(std::span<const Rect> rects);
 
+/// Reusable corner-coordinate buffers for manhattan_median_of_rects. The
+/// Lily DP evaluates a rectangle median per candidate match; one warm
+/// scratch per evaluation loop makes those calls allocation-free. Both
+/// overloads produce bit-identical results (the selected order statistics
+/// are value-determined, not layout-determined).
+struct MedianScratch {
+    std::vector<double> xs, ys;
+};
+
+Point manhattan_median_of_rects(std::span<const Rect> rects, MedianScratch& scratch);
+
 }  // namespace lily

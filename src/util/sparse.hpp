@@ -6,8 +6,11 @@
 // so a (Jacobi-preconditioned) conjugate gradient solver is the right tool.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/budget.hpp"
@@ -24,12 +27,22 @@ public:
     public:
         explicit Builder(std::size_t n) : n_(n) {}
 
-        /// Add v to entry (i, j).
-        void add(std::size_t i, std::size_t j, double v);
+        /// Add v to entry (i, j). Defined inline: assembly pushes hundreds
+        /// of thousands of triplets per build, so the push must not cost a
+        /// call.
+        void add(std::size_t i, std::size_t j, double v) {
+            assert(i < n_ && j < n_);
+            triplets_.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), v});
+        }
 
         /// Add v to (i,i), (j,j) and -v to (i,j), (j,i): one spring of
         /// weight v between nodes i and j (the Laplacian stamp).
-        void add_spring(std::size_t i, std::size_t j, double v);
+        void add_spring(std::size_t i, std::size_t j, double v) {
+            add(i, i, v);
+            add(j, j, v);
+            add(i, j, -v);
+            add(j, i, -v);
+        }
 
         /// Add v to the diagonal entry (i,i): a spring to a fixed location.
         void add_anchor(std::size_t i, double v) { add(i, i, v); }
@@ -39,7 +52,11 @@ public:
         /// in the duplicate-merge summation order, so set_anchor can later
         /// swap in a new weight and refold the diagonal bit-identically to
         /// a full rebuild with that weight.
-        void add_anchor_slot(std::size_t i);
+        void add_anchor_slot(std::size_t i) {
+            assert(i < n_);
+            triplets_.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), 0.0,
+                                 /*anchor_slot=*/true});
+        }
 
         /// Append another builder's entries (in their original order) —
         /// used to stitch per-chunk assemblies back together so a parallel
@@ -50,9 +67,14 @@ public:
 
     private:
         friend class SparseMatrix;
+        // 24 bytes, not 32: narrow row/col indices keep the sort (the
+        // hottest part of assembly) streaming 25% less data. The sort's
+        // comparison sequence — and with it the unstable permutation that
+        // fixes the duplicate fold order — depends only on the compared
+        // keys, so shrinking the element changes nothing downstream.
         struct Triplet {
-            std::size_t row;
-            std::size_t col;
+            std::uint32_t row;
+            std::uint32_t col;
             double value;
             bool anchor_slot = false;
         };
@@ -65,9 +87,55 @@ public:
 
     std::size_t size() const { return n_; }
 
+    /// Stored (merged) entries — the per-iteration SpMV work, and the figure
+    /// the kernel microbenchmarks normalize by.
+    std::size_t nonzeros() const { return val_.size(); }
+
     /// y = A x. Parallelized over row ranges (per-row sums are serial, so
     /// the result is bit-identical for any thread count).
     void multiply(std::span<const double> x, std::span<double> y) const;
+
+    /// Fused y = A x with xy[i] = x[i] * y[i] computed in the same parallel
+    /// pass. The caller's serial left-fold of xy then equals dot(x, y)
+    /// bit-for-bit (identical multiplies, identical add order; the build
+    /// targets baseline x86-64, so no FMA contraction can merge them), and
+    /// the extra passes re-reading x and y vanish.
+    void multiply_dot(std::span<const double> x, std::span<double> y,
+                      std::span<double> xy) const;
+
+    /// Fused CG setup pass: r = b - A x and rr[i] = r[i] * r[i] in one
+    /// sweep. Each element sees exactly the arithmetic of multiply()
+    /// followed by the two-op residual pass, so the result — and the serial
+    /// fold of rr — is bit-identical to the unfused sequence.
+    void multiply_residual(std::span<const double> x, std::span<const double> b,
+                           std::span<double> r, std::span<double> rr) const;
+
+    /// multiply_dot plus the serial left-fold of xy, returned. When the
+    /// row loop would run on parallel_for's serial fast path anyway, the
+    /// fold is accumulated inline in row order — the same products added in
+    /// the same sequence, without ever touching the xy array — so the value
+    /// (and y) is bit-identical to multiply_dot followed by a serial fold
+    /// at any thread count.
+    double multiply_dot_fold(std::span<const double> x, std::span<double> y,
+                             std::span<double> xy) const;
+
+    /// multiply_residual plus the serial left-fold of rr, returned; same
+    /// serial-path fusion (and the same bit-identity argument) as
+    /// multiply_dot_fold.
+    double multiply_residual_fold(std::span<const double> x, std::span<const double> b,
+                                  std::span<double> r, std::span<double> rr) const;
+
+    /// Dual right-hand-side multiply_dot_fold: one sweep over the matrix
+    /// entries serves two independent vectors, so the val_/col_ stream —
+    /// the bandwidth that bounds the solver — is fetched once instead of
+    /// twice. Each side keeps its own accumulator and folds its own
+    /// products in the identical ascending order, so y1/fold1 (and
+    /// y2/fold2) are bit-for-bit what two separate multiply_dot_fold calls
+    /// would produce.
+    void multiply_dot_fold2(std::span<const double> x1, std::span<double> y1,
+                            std::span<double> xy1, std::span<const double> x2,
+                            std::span<double> y2, std::span<double> xy2, double& fold1,
+                            double& fold2) const;
 
     double diagonal(std::size_t i) const { return diag_[i]; }
 
@@ -95,20 +163,25 @@ public:
     void set_anchor(std::size_t i, double w);
 
 private:
-    static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+    static constexpr std::uint32_t kNoEntry = static_cast<std::uint32_t>(-1);
 
+    // Index arrays are uint32, not size_t: the SpMV inner loop is bound by
+    // the val_/col_ stream bandwidth (the x gather stays L2-resident), so
+    // halving the index bytes is a direct throughput win that touches no
+    // floating-point value or summation order. 2^32 entries is far beyond
+    // any placement Laplacian this solver sees.
     std::size_t n_ = 0;
-    std::vector<std::size_t> row_start_;  // n_ + 1 entries
-    std::vector<std::size_t> col_;
+    std::vector<std::uint32_t> row_start_;  // n_ + 1 entries
+    std::vector<std::uint32_t> col_;
     std::vector<double> val_;
     std::vector<double> diag_;
-    std::vector<std::size_t> diag_pos_;   // index into val_, kNoEntry if absent
+    std::vector<std::uint32_t> diag_pos_;   // index into val_, kNoEntry if absent
     // Anchor-slot refold data (see set_anchor): the left-fold of the
     // duplicate values summed into (i, i) before the slot's triplet, and
     // the values after it in summation order (CSR layout).
     std::vector<char> anchor_slot_;
     std::vector<double> anchor_prefix_;
-    std::vector<std::size_t> anchor_tail_start_;  // n_ + 1 entries
+    std::vector<std::uint32_t> anchor_tail_start_;  // n_ + 1 entries
     std::vector<double> anchor_tail_vals_;
 };
 
@@ -120,6 +193,15 @@ struct CgResult {
     bool budget_exhausted = false;  // the StageBudget fired before convergence
 };
 
+/// Reusable CG solve vectors (residual, preconditioned residual, search
+/// direction, A*p, and the fused elementwise-product scratch). The placer
+/// calls CG once per axis per partitioning round; keeping one workspace per
+/// axis across rounds makes the steady-state solve allocation-free.
+/// Not thread-safe — concurrent solves need their own workspace each.
+struct CgWorkspace {
+    std::vector<double> r, z, p, ap, prod;
+};
+
 /// Jacobi-preconditioned conjugate gradient. `x` carries the initial guess
 /// in and the solution out. Stops when ||r|| <= tol * max(1, ||b||), after
 /// max_iters iterations, or — best-effort, with the partial iterate left in
@@ -127,9 +209,33 @@ struct CgResult {
 ///
 /// The SpMV, dot-product and vector-update kernels are parallelized over
 /// fixed-grain row ranges with ordered reductions, so the iterates (and the
-/// converged solution) are bit-identical for any LILY_THREADS value.
+/// converged solution) are bit-identical for any LILY_THREADS value. The
+/// scalar reductions CG steers by are serial left-folds over a product
+/// array filled inside the fused parallel passes — the same values in the
+/// same order as a standalone dot product, without the extra vector reads.
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, CgWorkspace& ws, double tol = 1e-10,
+                            std::size_t max_iters = 10'000, StageBudget* budget = nullptr);
+
+/// Convenience overload with a throwaway workspace (one-shot callers).
 CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
                             std::span<double> x, double tol = 1e-10,
                             std::size_t max_iters = 10'000, StageBudget* budget = nullptr);
+
+/// Two conjugate-gradient solves against the same matrix, run in lockstep:
+/// each iteration performs one dual-RHS SpMV (multiply_dot_fold2) so the
+/// matrix is streamed once for both systems — the placer's x/y axis solves
+/// share their Laplacian, which makes this the natural shape. The two
+/// solves are numerically independent: every per-axis scalar, iterate and
+/// stopping decision is computed exactly as in conjugate_gradient, so each
+/// returned solution is bit-identical to solving the axes one after the
+/// other. When one side converges (or fails) first, the other continues
+/// alone on the single-RHS kernel. A shared budget is ticked once per
+/// still-active side per iteration — the same total consumption as two
+/// sequential solves, interleaved.
+std::pair<CgResult, CgResult> conjugate_gradient_pair(
+    const SparseMatrix& a, std::span<const double> b1, std::span<double> x1, CgWorkspace& ws1,
+    std::span<const double> b2, std::span<double> x2, CgWorkspace& ws2, double tol = 1e-10,
+    std::size_t max_iters = 10'000, StageBudget* budget = nullptr);
 
 }  // namespace lily
